@@ -1,0 +1,407 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// per figure (the -v output of each prints the same rows/series the paper
+// reports) plus micro-benchmarks for the wire codec (ablation E8) and the
+// protocol hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+package flecc_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"flecc"
+	"flecc/internal/directory"
+	"flecc/internal/experiments"
+	"flecc/internal/image"
+	"flecc/internal/property"
+	"flecc/internal/trigger"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+// BenchmarkFig4Efficiency regenerates Figure 4: the number of messages
+// between cache managers and the directory manager for Flecc vs the
+// time-sharing and multicast baselines, as the conflict-group size sweeps
+// 10..100 over 100 agents.
+func BenchmarkFig4Efficiency(b *testing.B) {
+	cfg := experiments.DefaultFig4()
+	var res *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	first := res.Rows[0]
+	b.ReportMetric(float64(first.Flecc), "flecc-msgs@g10")
+	b.ReportMetric(float64(last.Flecc), "flecc-msgs@g100")
+	b.ReportMetric(float64(first.TimeSharing), "timesharing-msgs")
+	b.ReportMetric(float64(first.Multicast), "multicast-msgs")
+	if testing.Verbose() {
+		res.WriteTo(logWriter{b})
+	}
+}
+
+// BenchmarkFig5Adaptability regenerates Figure 5: per-operation execution
+// time and data quality across the WEAK → STRONG → WEAK timeline for ten
+// conflicting agents.
+func BenchmarkFig5Adaptability(b *testing.B) {
+	cfg := experiments.DefaultFig5()
+	var res *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := res.Summaries()
+	b.ReportMetric(s[0].MeanExec, "weak-exec-ms")
+	b.ReportMetric(s[1].MeanExec, "strong-exec-ms")
+	b.ReportMetric(s[0].MeanQuality, "weak-unseen")
+	b.ReportMetric(s[1].MeanQuality, "strong-unseen")
+	if testing.Verbose() {
+		res.WriteTo(logWriter{b})
+	}
+}
+
+// BenchmarkFig6Flexibility regenerates Figure 6: data quality and message
+// counts with and without a time-based pull trigger, ten conflicting weak
+// agents.
+func BenchmarkFig6Flexibility(b *testing.B) {
+	cfg := experiments.DefaultFig6()
+	var res *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.NoTriggers.Messages), "msgs-no-trigger")
+	b.ReportMetric(float64(res.WithTrigger.Messages), "msgs-with-trigger")
+	b.ReportMetric(res.NoTriggers.MeanQuality(), "unseen-no-trigger")
+	b.ReportMetric(res.WithTrigger.MeanQuality(), "unseen-with-trigger")
+	if testing.Verbose() {
+		res.WriteTo(logWriter{b})
+	}
+}
+
+// BenchmarkAblationConflict regenerates ablation E5 (conflict-decision
+// policy: worst-case vs static map vs dynamic properties).
+func BenchmarkAblationConflict(b *testing.B) {
+	var res *experiments.AblationConflictResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunAblationConflict(40, 10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(float64(row.Messages), string(row.Policy)+"-msgs")
+	}
+}
+
+// BenchmarkAblationRW regenerates ablation E6 (read/write semantics).
+func BenchmarkAblationRW(b *testing.B) {
+	var res *experiments.AblationRWResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunAblationRW(10, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.MessagesBase), "base-msgs")
+	b.ReportMetric(float64(res.MessagesAware), "read-aware-msgs")
+}
+
+// BenchmarkAblationPeer regenerates ablation E7 (centralized O(n) vs
+// decentralized O(n²) pairings and anti-entropy traffic).
+func BenchmarkAblationPeer(b *testing.B) {
+	var res *experiments.AblationPeerResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunAblationPeer([]int{2, 4, 8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(float64(last.PairingsDecentralized), "pairings@n16")
+	b.ReportMetric(float64(last.SyncMessagesPerAntiEntropyRound), "msgs@n16")
+}
+
+// BenchmarkAblationPropagation regenerates ablation E10 (pull-based vs
+// push-based update distribution across a write-rate sweep).
+func BenchmarkAblationPropagation(b *testing.B) {
+	var res *experiments.PropagationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunPropagation(experiments.DefaultPropagation())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	b.ReportMetric(float64(first.MessagesPush), "push-msgs@w1")
+	b.ReportMetric(float64(last.MessagesPush), "push-msgs@wmax")
+	b.ReportMetric(float64(last.MessagesPull), "pull-msgs@wmax")
+}
+
+// BenchmarkBuyerMix regenerates experiment E9 (adaptive mode switching vs
+// fixed all-strong / all-weak policies under a browse/buy workload).
+func BenchmarkBuyerMix(b *testing.B) {
+	var res *experiments.BuyerMixResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunBuyerMix(experiments.DefaultBuyerMix())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckShape(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(float64(last.MessagesAdaptive), "adaptive-msgs@frac1")
+	b.ReportMetric(float64(last.MessagesAllStrong), "strong-msgs@frac1")
+	b.ReportMetric(float64(last.OversoldAllWeak), "weak-oversold@frac1")
+}
+
+// --- E8: wire codec micro-benchmarks --------------------------------------
+
+func benchMessage(entries int) *wire.Message {
+	img := image.New(property.MustSet("Flights={100..139}"))
+	for i := 0; i < entries; i++ {
+		img.Put(image.Entry{
+			Key:     fmt.Sprintf("flight/%03d", i),
+			Value:   []byte("NYC|SFO|200|57|19900"),
+			Version: vclock.Version(i),
+			Writer:  "agent-042",
+		})
+	}
+	img.Version = vclock.Version(entries)
+	return &wire.Message{
+		Type: wire.TPush, Seq: 42, From: "agent-042", View: "agent-042",
+		Ops: 7, Img: img,
+	}
+}
+
+// BenchmarkCodecEncode measures the hand-written binary encoder.
+func BenchmarkCodecEncode(b *testing.B) {
+	m := benchMessage(40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = wire.Encode(m)
+	}
+}
+
+// BenchmarkCodecDecode measures the decoder.
+func BenchmarkCodecDecode(b *testing.B) {
+	buf := wire.Encode(benchMessage(40))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// gobMessage mirrors wire.Message for the stdlib-gob comparison.
+type gobMessage struct {
+	Type    uint8
+	Seq     uint64
+	From    string
+	View    string
+	Ops     uint32
+	Entries map[string][]byte
+}
+
+// BenchmarkCodecGobBaseline measures encoding/gob on an equivalent
+// payload, the comparison point for the custom codec.
+func BenchmarkCodecGobBaseline(b *testing.B) {
+	m := benchMessage(40)
+	g := gobMessage{Type: uint8(m.Type), Seq: m.Seq, From: m.From, View: m.View, Ops: m.Ops, Entries: map[string][]byte{}}
+	for k, e := range m.Img.Entries {
+		g.Entries[k] = e.Value
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- protocol hot paths ----------------------------------------------------
+
+// BenchmarkPullWeak measures one relaxed weak-mode pull round trip through
+// the full stack (public API, in-proc transport).
+func BenchmarkPullWeak(b *testing.B) {
+	db := flecc.NewMapCodec()
+	db.SetString("k", "v")
+	sys, err := flecc.New("db", db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	v, err := sys.NewView(flecc.ViewConfig{
+		Name: "v1", View: flecc.NewMapCodec(), Props: flecc.MustProps("P={x}"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.Pull(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPushPullCycle measures a full write-publish-observe cycle
+// between two views.
+func BenchmarkPushPullCycle(b *testing.B) {
+	db := flecc.NewMapCodec()
+	sys, err := flecc.New("db", db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	r1 := flecc.NewMapCodec()
+	v1, err := sys.NewView(flecc.ViewConfig{Name: "v1", View: r1, Props: flecc.MustProps("P={x}")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v2, err := sys.NewView(flecc.ViewConfig{Name: "v2", View: flecc.NewMapCodec(), Props: flecc.MustProps("P={x}")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v1.Use(func() error {
+			r1.SetString("k", fmt.Sprint(i))
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := v1.Push(); err != nil {
+			b.Fatal(err)
+		}
+		if err := v2.Pull(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreCommit measures one primary-copy commit (conflict
+// detection + shadow update + merge) of a 10-entry delta.
+func BenchmarkStoreCommit(b *testing.B) {
+	db := flecc.NewMapCodec()
+	st := directory.NewStore(db, vclock.NewSim())
+	props := property.MustSet("F={1..10}")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta := image.New(props)
+		for k := 0; k < 10; k++ {
+			delta.Put(image.Entry{
+				Key:     fmt.Sprintf("k%d", k),
+				Value:   []byte(fmt.Sprintf("v%d", i)),
+				Version: vclock.Version(i), // always current: no conflicts
+			})
+		}
+		if _, _, _, err := st.Commit("w", delta, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreExtract measures a delta extraction from a 100-key
+// primary.
+func BenchmarkStoreExtract(b *testing.B) {
+	db := flecc.NewMapCodec()
+	st := directory.NewStore(db, vclock.NewSim())
+	props := property.MustSet("F={1..10}")
+	delta := image.New(props)
+	for k := 0; k < 100; k++ {
+		delta.Put(image.Entry{Key: fmt.Sprintf("k%03d", k), Value: []byte("value")})
+	}
+	if _, _, _, err := st.Commit("w", delta, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Extract(props, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDynConfl measures the dynamic conflict decision (Definition 1)
+// on realistic property sets.
+func BenchmarkDynConfl(b *testing.B) {
+	p := property.MustSet("Flights={100..149}; Seats=[0,400]")
+	q := property.MustSet("Flights={140..189}; Fare=[0,1000]")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = property.DynConfl(p, q)
+	}
+}
+
+// BenchmarkTriggerEval measures one compiled trigger evaluation — the
+// per-tick cost of delegating synchronization decisions to the system.
+func BenchmarkTriggerEval(b *testing.B) {
+	trig := trigger.MustCompile("(t > 1500) && pending > 0 || every(500)")
+	env := benchEnv{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trig.Fire(float64(i), env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchEnv struct{}
+
+func (benchEnv) Lookup(name string) (float64, bool) { return 3, true }
+
+// logWriter routes table output through b.Log.
+type logWriter struct{ b *testing.B }
+
+func (w logWriter) Write(p []byte) (int, error) {
+	w.b.Log(string(p))
+	return len(p), nil
+}

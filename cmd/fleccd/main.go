@@ -1,0 +1,128 @@
+// Command fleccd runs a Flecc directory manager as a TCP daemon: the
+// original component is an in-memory airline flight database (seeded with
+// synthetic flights), and remote cache managers (fleccview) connect over
+// TCP to register views, pull, push, and switch modes.
+//
+// Usage:
+//
+//	fleccd -addr :7070 -flights 100 -capacity 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"flecc/internal/airline"
+	"flecc/internal/directory"
+	"flecc/internal/secure"
+	"flecc/internal/transport"
+	"flecc/internal/vclock"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		name      = flag.String("name", "db", "directory manager node name")
+		flights   = flag.Int("flights", 100, "number of synthetic flights to seed (starting at 100)")
+		capacity  = flag.Int("capacity", 200, "seats per flight")
+		interval  = flag.Duration("status", 10*time.Second, "status log interval (0 disables)")
+		key       = flag.String("key", "", "shared secret; when set, the link is protected by an encryptor/decryptor pair")
+		ckptPath  = flag.String("checkpoint", "", "file to write protocol-metadata snapshots to (enables fail-over; see -checkpoint-every)")
+		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "snapshot interval when -checkpoint is set")
+	)
+	flag.Parse()
+	if err := run(*addr, *name, *flights, *capacity, *interval, *key, *ckptPath, *ckptEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "fleccd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, name string, flights, capacity int, statusEvery time.Duration, key, ckptPath string, ckptEvery time.Duration) error {
+	db := airline.NewReservationSystem()
+	airline.SeedFlights(db, 100, flights, capacity)
+
+	var ln net.Listener
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if key != "" {
+		ln = secure.NewListener(ln, secure.NewPair([]byte(key)))
+		log.Printf("fleccd: link protected by encryptor/decryptor pair")
+	}
+	snet := transport.NewServerNetwork(ln, 30*time.Second)
+	opts := directory.Options{Resolver: airline.SeatResolver}
+	if ckptPath != "" {
+		// Warm-restore from a previous checkpoint, if present (the
+		// fail-over mechanism; see PROTOCOL.md).
+		if blob, err := os.ReadFile(ckptPath); err == nil {
+			snap, err := directory.DecodeSnapshot(blob)
+			if err != nil {
+				return fmt.Errorf("restore %s: %w", ckptPath, err)
+			}
+			opts.Snapshot = snap
+			log.Printf("fleccd: restored checkpoint from %s (v%d)", ckptPath, snap.Version)
+		}
+	}
+	dm, err := directory.New(name, db, vclock.NewReal(), snet, opts)
+	if err != nil {
+		return err
+	}
+	defer dm.Close()
+	log.Printf("fleccd: directory manager %q serving %d flights on %s", name, flights, ln.Addr())
+
+	checkpoint := func() {
+		if ckptPath == "" {
+			return
+		}
+		blob, err := directory.EncodeSnapshot(dm.Store().Snapshot())
+		if err != nil {
+			log.Printf("fleccd: snapshot: %v", err)
+			return
+		}
+		tmp := ckptPath + ".tmp"
+		if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+			log.Printf("fleccd: checkpoint: %v", err)
+			return
+		}
+		if err := os.Rename(tmp, ckptPath); err != nil {
+			log.Printf("fleccd: checkpoint: %v", err)
+		}
+	}
+	var ckptTick <-chan time.Time
+	if ckptPath != "" && ckptEvery > 0 {
+		t := time.NewTicker(ckptEvery)
+		defer t.Stop()
+		ckptTick = t.C
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if statusEvery > 0 {
+		ticker = time.NewTicker(statusEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-stop:
+			checkpoint()
+			log.Printf("fleccd: shutting down")
+			return nil
+		case <-ckptTick:
+			checkpoint()
+		case <-tick:
+			views := dm.Views()
+			log.Printf("fleccd: v%d, %d views registered %v, %d conflicts resolved",
+				dm.CurrentVersion(), len(views), views, dm.Store().ConflictsSeen())
+		}
+	}
+}

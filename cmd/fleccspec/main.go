@@ -1,0 +1,75 @@
+// Command fleccspec validates a PSF declarative specification and prints
+// the deployment plan the planning module produces for it — the views to
+// deploy (with modes), the encryptor pairs to insert, and the served
+// latency per client. It also runs the plan checker as a safety net.
+//
+// Usage:
+//
+//	fleccspec app.psf
+//	fleccspec -            # read the spec from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flecc/internal/psf"
+)
+
+func main() {
+	normalize := flag.Bool("normalize", false, "print the normalized spec instead of the plan")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fleccspec [-normalize] <spec-file | ->")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *normalize); err != nil {
+		fmt.Fprintln(os.Stderr, "fleccspec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, normalize bool) error {
+	var text []byte
+	var err error
+	if path == "-" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	spec, err := psf.ParseSpec(string(text))
+	if err != nil {
+		return err
+	}
+	if normalize {
+		fmt.Print(psf.Format(spec))
+		return nil
+	}
+	fmt.Printf("spec OK: %d components, %d nodes, %d links, %d clients\n",
+		len(spec.Components), len(spec.Nodes), len(spec.Links), len(spec.Clients))
+
+	plan, err := psf.PlanDeployment(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nplan:")
+	fmt.Print(plan)
+	fmt.Println("\nserved latency per client:")
+	for _, cl := range spec.Clients {
+		budget := "unbounded"
+		if cl.QoS.MaxLatency > 0 {
+			budget = fmt.Sprintf("%dms", cl.QoS.MaxLatency)
+		}
+		fmt.Printf("  %-12s %3dms (budget %s)\n", cl.Name, plan.PathLatency[cl.Name], budget)
+	}
+	if err := psf.CheckPlan(spec, plan); err != nil {
+		return fmt.Errorf("plan check FAILED: %w", err)
+	}
+	fmt.Println("\nplan check: OK (all QoS satisfied)")
+	return nil
+}

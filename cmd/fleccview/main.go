@@ -1,0 +1,152 @@
+// Command fleccview runs an interactive travel-agent view against a
+// fleccd directory daemon. It dials the daemon, registers a view over a
+// flight range, and accepts commands on stdin:
+//
+//	pull                  refresh the replica from the primary
+//	push                  publish local changes
+//	reserve <n> <flight>  reserve n seats (inside a use window)
+//	browse                list flights with availability
+//	mode strong|weak      switch consistency mode
+//	status                show version/validity/pending
+//	quit                  push pending changes, unregister, exit
+//
+// Usage:
+//
+//	fleccview -addr 127.0.0.1:7070 -name agent-1 -from 100 -to 109
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"flecc/internal/airline"
+	"flecc/internal/secure"
+	"flecc/internal/transport"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "fleccd address")
+		dir      = flag.String("dir", "db", "directory manager node name")
+		name     = flag.String("name", "agent-1", "view node name")
+		from     = flag.Int("from", 100, "first served flight")
+		to       = flag.Int("to", 109, "last served flight")
+		mode     = flag.String("mode", "weak", "initial mode: weak or strong")
+		key      = flag.String("key", "", "shared secret matching the daemon's -key (encryptor/decryptor pair)")
+		pushTrig = flag.String("pushtrigger", "", `push quality trigger, e.g. "pending > 0 && sincePush > 1500"`)
+		pullTrig = flag.String("pulltrigger", "", `pull quality trigger, e.g. "sincePull > 2000"`)
+		tick     = flag.Duration("tick", time.Second, "trigger evaluation period")
+	)
+	flag.Parse()
+	if err := run(*addr, *dir, *name, *from, *to, *mode, *key, *pushTrig, *pullTrig, *tick); err != nil {
+		fmt.Fprintln(os.Stderr, "fleccview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir, name string, from, to int, modeStr, key, pushTrig, pullTrig string, tick time.Duration) error {
+	m := wire.Weak
+	if strings.EqualFold(modeStr, "strong") {
+		m = wire.Strong
+	}
+	dnet := transport.NewDialNetwork(addr, 30*time.Second)
+	if key != "" {
+		pair := secure.NewPair([]byte(key))
+		dnet.DialFn = func(a string) (net.Conn, error) { return secure.Dial(a, pair) }
+	}
+	agent, err := airline.NewTravelAgent(airline.AgentConfig{
+		Name: name, Directory: dir, Net: dnet, Clock: vclock.NewReal(),
+		FlightsFrom: from, FlightsTo: to, Mode: m,
+		PushTrigger: pushTrig, PullTrigger: pullTrig,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("view %s registered (flights %d-%d, %s mode); %d flights in replica\n",
+		name, from, to, m, agent.ARS.Len())
+	if stop := agent.CM.StartTicker(tick, func(err error) {
+		fmt.Println("  trigger error:", err)
+	}); stop != nil {
+		defer stop()
+		fmt.Printf("quality triggers armed (evaluated every %v)\n", tick)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			fmt.Print("> ")
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "quit", "exit":
+			if err := agent.Close(); err != nil {
+				return err
+			}
+			fmt.Println("bye")
+			return nil
+		case "pull":
+			report(agent.CM.PullImage())
+		case "push":
+			report(agent.CM.PushImage())
+		case "reserve":
+			if len(fields) != 3 {
+				fmt.Println("usage: reserve <count> <flight>")
+				break
+			}
+			n, err1 := strconv.Atoi(fields[1])
+			fl, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Println("usage: reserve <count> <flight>")
+				break
+			}
+			report(agent.ReserveTickets(n, fl))
+		case "browse":
+			flights, err := agent.Browse("", "")
+			if err != nil {
+				report(err)
+				break
+			}
+			for _, f := range flights {
+				fmt.Printf("  flight %d %s->%s  %d/%d seats free  $%.2f\n",
+					f.Number, f.Origin, f.Dest, f.Available(), f.Capacity, float64(f.Fare)/100)
+			}
+		case "mode":
+			if len(fields) != 2 {
+				fmt.Println("usage: mode strong|weak")
+				break
+			}
+			newMode := wire.Weak
+			if strings.EqualFold(fields[1], "strong") {
+				newMode = wire.Strong
+			}
+			report(agent.CM.SetMode(newMode))
+		case "status":
+			fmt.Printf("  mode=%s seen=v%d valid=%v pending-ops=%d invalidations=%d\n",
+				agent.CM.Mode(), agent.CM.Seen(), agent.CM.Valid(),
+				agent.CM.PendingOps(), agent.CM.Invalidations())
+		default:
+			fmt.Println("commands: pull push reserve browse mode status quit")
+		}
+		fmt.Print("> ")
+	}
+	return agent.Close()
+}
+
+func report(err error) {
+	if err != nil {
+		fmt.Println("  error:", err)
+	} else {
+		fmt.Println("  ok")
+	}
+}

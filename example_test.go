@@ -1,0 +1,86 @@
+package flecc_test
+
+import (
+	"fmt"
+
+	"flecc"
+)
+
+// ExampleNew shows the minimal lifecycle: a primary component, one view,
+// a coherent update round trip.
+func ExampleNew() {
+	db := flecc.NewMapCodec()
+	db.SetString("greeting", "hello")
+	sys, _ := flecc.New("db", db)
+	defer sys.Close()
+
+	replica := flecc.NewMapCodec()
+	v, _ := sys.NewView(flecc.ViewConfig{
+		Name:  "replica-1",
+		View:  replica,
+		Props: flecc.MustProps("Data={greeting}"),
+	})
+	fmt.Println("initialized:", replica.GetString("greeting"))
+
+	v.Use(func() error {
+		replica.SetString("greeting", "bonjour")
+		return nil
+	})
+	v.Push()
+	fmt.Println("primary now:", db.GetString("greeting"))
+	v.Close()
+	// Output:
+	// initialized: hello
+	// primary now: bonjour
+}
+
+// ExampleView_SetMode shows the run-time weak→strong switch and the
+// invalidation it causes — the paper's viewer-becomes-buyer transition.
+func ExampleView_SetMode() {
+	sys, _ := flecc.New("db", flecc.NewMapCodec())
+	defer sys.Close()
+	v1, _ := sys.NewView(flecc.ViewConfig{
+		Name: "viewer", View: flecc.NewMapCodec(), Props: flecc.MustProps("P={x}"),
+	})
+	v2, _ := sys.NewView(flecc.ViewConfig{
+		Name: "buyer", View: flecc.NewMapCodec(), Props: flecc.MustProps("P={x}"),
+	})
+	v1.Pull()
+	v2.SetMode(flecc.Strong)
+	v2.Pull()
+	fmt.Println("viewer still valid:", v1.Valid())
+	// Output:
+	// viewer still valid: false
+}
+
+// ExampleSystem_Unseen shows the paper's data-quality metric: the number
+// of remote updates a view has not yet seen.
+func ExampleSystem_Unseen() {
+	sys, _ := flecc.New("db", flecc.NewMapCodec())
+	defer sys.Close()
+	writer := flecc.NewMapCodec()
+	w, _ := sys.NewView(flecc.ViewConfig{
+		Name: "writer", View: writer, Props: flecc.MustProps("P={x}"),
+	})
+	reader, _ := sys.NewView(flecc.ViewConfig{
+		Name: "reader", View: flecc.NewMapCodec(), Props: flecc.MustProps("P={x}"),
+	})
+	for i := 0; i < 3; i++ {
+		w.Use(func() error { writer.SetString("k", fmt.Sprint(i)); return nil })
+		w.Push()
+	}
+	fmt.Println("reader staleness:", sys.Unseen("reader"))
+	reader.Pull()
+	fmt.Println("after pull:", sys.Unseen("reader"))
+	// Output:
+	// reader staleness: 3
+	// after pull: 0
+}
+
+// ExampleMustProps shows the property-set literal syntax.
+func ExampleMustProps() {
+	p := flecc.MustProps("Flights={100..102}; Seats=[0,400]")
+	fmt.Println(p)
+	// Output:
+	// Flights={100,101,102}; Seats=[0,400]
+}

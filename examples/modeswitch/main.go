@@ -1,0 +1,134 @@
+// Modeswitch: the full PSF adaptation loop from the paper's §3 — a
+// declarative application/environment specification, the planning module
+// deciding where views go (with encryptor insertion on insecure links),
+// the deployment module instantiating Flecc-coherent travel agents on a
+// simulated WAN, and the monitoring module triggering replanning when a
+// link degrades.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"flecc/internal/airline"
+	"flecc/internal/directory"
+	"flecc/internal/netsim"
+	"flecc/internal/psf"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+const spec = `
+# the paper's airline deployment
+component flightdb implements FlightDB(Flights={100..119}) methods browse,reserve
+component agent implements Reservation(Flights={100..119}) requires FlightDB methods browse,reserve replicable
+node hub secure
+node edge1
+node edge2
+link hub edge1 latency=40
+link hub edge2 latency=8 secure
+place flightdb hub
+place agent hub
+client alice at edge1 requires Reservation maxlatency=10 privacy buying
+client bob at edge2 requires Reservation maxlatency=20
+`
+
+func main() {
+	s, err := psf.ParseSpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := psf.PlanDeployment(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial plan:")
+	fmt.Print(plan)
+
+	// Build the simulated WAN and the Flecc system on it.
+	clock := vclock.NewSim()
+	topo := psf.BuildTopology(s)
+	net := netsim.New(clock, topo)
+	db := airline.NewReservationSystem()
+	airline.SeedFlights(db, 100, 20, 50)
+	topo.Place("flightdb", "hub")
+	dm, err := directory.New("flightdb", db, clock, net, directory.Options{
+		Resolver: airline.SeatResolver,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dm.Close()
+
+	// The deployment module instantiates planned views as travel agents.
+	agents := map[string]*airline.TravelAgent{}
+	factory := func(a psf.Action) (io.Closer, error) {
+		if a.Kind == "insert-encryptor" {
+			fmt.Printf("  [deploy] %s on %s (%s)\n", a.Instance, a.Node, a.Detail)
+			return nopCloser{}, nil
+		}
+		mode := wire.Weak
+		if a.Strong {
+			mode = wire.Strong
+		}
+		topo.Place(a.Instance, a.Node)
+		ag, err := airline.NewTravelAgent(airline.AgentConfig{
+			Name: a.Instance, Directory: "flightdb", Net: net, Clock: clock,
+			FlightsFrom: 100, FlightsTo: 119, Mode: mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		agents[a.Client] = ag
+		fmt.Printf("  [deploy] %s on %s for %s (%s mode)\n", a.Instance, a.Node, a.Client, mode)
+		return closerFunc(func() error { return ag.Close() }), nil
+	}
+	dep, err := psf.Deploy(s, plan, topo, factory)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice (buyer, strong view on her own node) purchases: local hop,
+	// strong consistency.
+	alice := agents["alice"]
+	t0 := clock.Now()
+	if err := alice.ReserveTickets(2, 100); err != nil {
+		log.Fatal(err)
+	}
+	if err := alice.CM.PushImage(); err != nil {
+		log.Fatal(err)
+	}
+	f, _ := db.Flight(100)
+	fmt.Printf("alice bought 2 seats (strong, %dms simulated): db shows %d reserved\n",
+		int64(clock.Now()-t0), f.Reserved)
+
+	// The monitoring module notices edge2's link degrading; replanning
+	// now deploys a view for bob too.
+	mon := psf.NewMonitor(s)
+	psf.Replanner(mon, s, func(e psf.Event, p *psf.Plan, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("environment change (%s) -> replanned:\n", e)
+		for _, a := range p.ViewInstances() {
+			fmt.Printf("  deploy-view %s on %s for %s\n", a.Instance, a.Node, a.Client)
+		}
+	})
+	if err := mon.ObserveLatency("hub", "edge2", 60); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := dep.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployment torn down")
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }

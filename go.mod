@@ -1,0 +1,3 @@
+module flecc
+
+go 1.22

@@ -1,0 +1,312 @@
+// Package airline implements the paper's case study (§5): a
+// component-based airline reservation system consisting of a main flight
+// database, replicable travel-agent views that assist clients, and
+// reservation clients of different capabilities (viewers and buyers).
+//
+// The same ReservationSystem type plays both the original component (the
+// main database) and the travel agents' working replicas — exactly the
+// view relationship from §3.2: each agent's data is a subset of the
+// database's, selected by the "Flights" property.
+package airline
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"flecc/internal/image"
+	"flecc/internal/property"
+)
+
+// PropFlights is the property name agents use to declare which flights
+// they serve (the paper's `"Flights"` property).
+const PropFlights = "Flights"
+
+// Flight is one flight record in the database.
+type Flight struct {
+	// Number is the unique flight number.
+	Number int
+	// Origin and Dest are airport codes.
+	Origin, Dest string
+	// Capacity is the number of sellable seats.
+	Capacity int
+	// Reserved is the number of seats sold.
+	Reserved int
+	// Fare is the ticket price in cents.
+	Fare int
+}
+
+// Available returns the number of unsold seats.
+func (f Flight) Available() int { return f.Capacity - f.Reserved }
+
+// Key returns the image entry key for the flight.
+func (f Flight) Key() string { return FlightKey(f.Number) }
+
+// FlightKey renders the image entry key for a flight number.
+func FlightKey(number int) string { return "flight/" + strconv.Itoa(number) }
+
+// ParseFlightKey extracts the flight number from an entry key.
+func ParseFlightKey(key string) (int, error) {
+	rest, ok := strings.CutPrefix(key, "flight/")
+	if !ok {
+		return 0, fmt.Errorf("airline: %q is not a flight key", key)
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, fmt.Errorf("airline: bad flight key %q: %w", key, err)
+	}
+	return n, nil
+}
+
+// Encode renders the flight payload ("origin|dest|capacity|reserved|fare").
+func (f Flight) Encode() []byte {
+	return []byte(fmt.Sprintf("%s|%s|%d|%d|%d", f.Origin, f.Dest, f.Capacity, f.Reserved, f.Fare))
+}
+
+// DecodeFlight parses an encoded flight payload for the given number.
+func DecodeFlight(number int, b []byte) (Flight, error) {
+	parts := strings.Split(string(b), "|")
+	if len(parts) != 5 {
+		return Flight{}, fmt.Errorf("airline: bad flight payload %q", b)
+	}
+	capn, err1 := strconv.Atoi(parts[2])
+	res, err2 := strconv.Atoi(parts[3])
+	fare, err3 := strconv.Atoi(parts[4])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Flight{}, fmt.Errorf("airline: bad numbers in flight payload %q", b)
+	}
+	return Flight{
+		Number: number, Origin: parts[0], Dest: parts[1],
+		Capacity: capn, Reserved: res, Fare: fare,
+	}, nil
+}
+
+// Errors reported by reservation operations.
+var (
+	ErrNoSuchFlight = fmt.Errorf("airline: no such flight")
+	ErrSoldOut      = fmt.Errorf("airline: not enough seats")
+)
+
+// ReservationSystem is the flight store. It is safe for concurrent use and
+// implements the Flecc image codec (extractFromObject/mergeIntoObject and
+// extractFromView/mergeIntoView are the same shape, per the paper's
+// Figure 3).
+type ReservationSystem struct {
+	mu      sync.Mutex
+	flights map[int]*Flight
+}
+
+// NewReservationSystem returns an empty system.
+func NewReservationSystem() *ReservationSystem {
+	return &ReservationSystem{flights: map[int]*Flight{}}
+}
+
+// AddFlight inserts or replaces a flight.
+func (rs *ReservationSystem) AddFlight(f Flight) {
+	rs.mu.Lock()
+	cp := f
+	rs.flights[f.Number] = &cp
+	rs.mu.Unlock()
+}
+
+// Flight returns a copy of the flight record.
+func (rs *ReservationSystem) Flight(number int) (Flight, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	f, ok := rs.flights[number]
+	if !ok {
+		return Flight{}, false
+	}
+	return *f, true
+}
+
+// Flights returns copies of all flights, ordered by number.
+func (rs *ReservationSystem) Flights() []Flight {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]Flight, 0, len(rs.flights))
+	for _, f := range rs.flights {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// Len returns the number of flights.
+func (rs *ReservationSystem) Len() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.flights)
+}
+
+// Browse returns the flights between two airports with seats available —
+// the viewer operation.
+func (rs *ReservationSystem) Browse(origin, dest string) []Flight {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var out []Flight
+	for _, f := range rs.flights {
+		if (origin == "" || f.Origin == origin) && (dest == "" || f.Dest == dest) && f.Available() > 0 {
+			out = append(out, *f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// SeatsAvailable returns the unsold seats on a flight.
+func (rs *ReservationSystem) SeatsAvailable(number int) (int, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	f, ok := rs.flights[number]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchFlight, number)
+	}
+	return f.Available(), nil
+}
+
+// ConfirmTickets reserves count seats on a flight — the paper's
+// confirmTickets(count, flightNumber) operation.
+func (rs *ReservationSystem) ConfirmTickets(count, number int) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	f, ok := rs.flights[number]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchFlight, number)
+	}
+	if f.Available() < count {
+		return fmt.Errorf("%w: flight %d has %d seats, want %d", ErrSoldOut, number, f.Available(), count)
+	}
+	f.Reserved += count
+	return nil
+}
+
+// CancelTickets releases count seats on a flight.
+func (rs *ReservationSystem) CancelTickets(count, number int) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	f, ok := rs.flights[number]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchFlight, number)
+	}
+	f.Reserved -= count
+	if f.Reserved < 0 {
+		f.Reserved = 0
+	}
+	return nil
+}
+
+// TotalReserved sums reserved seats across all flights (a trigger
+// variable).
+func (rs *ReservationSystem) TotalReserved() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	total := 0
+	for _, f := range rs.flights {
+		total += f.Reserved
+	}
+	return total
+}
+
+// flightsDomain returns the flight-number domain of a property set
+// (empty domain = no restriction declared).
+func flightsDomain(props property.Set) (property.Domain, bool) {
+	p, ok := props.Get(PropFlights)
+	if !ok {
+		return property.Domain{}, false
+	}
+	return p.Domain, true
+}
+
+// Extract implements the Flecc extract method (extractFromObject /
+// extractFromView): it snapshots the flights selected by the property
+// set's "Flights" domain (all flights when the property is absent).
+func (rs *ReservationSystem) Extract(props property.Set) (*image.Image, error) {
+	dom, restricted := flightsDomain(props)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	img := image.New(props.Clone())
+	for n, f := range rs.flights {
+		if restricted && !dom.ContainsValue(float64(n)) {
+			continue
+		}
+		img.Put(image.Entry{Key: f.Key(), Value: f.Encode()})
+	}
+	return img, nil
+}
+
+// Merge implements the Flecc merge method (mergeIntoObject /
+// mergeIntoView): it folds flight entries into the store, honoring the
+// property restriction and tombstones.
+func (rs *ReservationSystem) Merge(img *image.Image, props property.Set) error {
+	dom, restricted := flightsDomain(props)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for key, e := range img.Entries {
+		n, err := ParseFlightKey(key)
+		if err != nil {
+			continue // foreign entries are not ours to interpret
+		}
+		if restricted && !dom.ContainsValue(float64(n)) {
+			continue
+		}
+		if e.Deleted {
+			delete(rs.flights, n)
+			continue
+		}
+		f, err := DecodeFlight(n, e.Value)
+		if err != nil {
+			return err
+		}
+		rs.flights[n] = &f
+	}
+	return nil
+}
+
+// SeatResolver is the application conflict resolver for concurrent
+// reservations: when two agents sold seats on the same flight based on the
+// same snapshot, the merged record keeps the higher Reserved count (seats,
+// once sold, stay sold) while taking the rest of the incoming record.
+// Overselling beyond capacity is clamped.
+func SeatResolver(c image.Conflict) (image.Entry, error) {
+	ourN, err1 := ParseFlightKey(c.Key)
+	if err1 != nil || c.Ours.Value == nil || c.Theirs.Value == nil {
+		// Not a flight record (or a deletion raced): take the incoming.
+		return c.Theirs, nil
+	}
+	ours, err1 := DecodeFlight(ourN, c.Ours.Value)
+	theirs, err2 := DecodeFlight(ourN, c.Theirs.Value)
+	if err1 != nil || err2 != nil {
+		return c.Theirs, nil
+	}
+	merged := theirs
+	if ours.Reserved > merged.Reserved {
+		merged.Reserved = ours.Reserved
+	}
+	if merged.Reserved > merged.Capacity {
+		merged.Reserved = merged.Capacity
+	}
+	out := c.Theirs
+	out.Value = merged.Encode()
+	return out, nil
+}
+
+// SeedFlights populates a system with count flights numbered from start,
+// with the given capacity, and round-robin city pairs — the synthetic
+// stand-in for the paper's "main flight database that contains all
+// information about existing flights".
+func SeedFlights(rs *ReservationSystem, start, count, capacity int) {
+	cities := []string{"NYC", "BOS", "SFO", "LAX", "ORD", "MIA"}
+	for i := 0; i < count; i++ {
+		n := start + i
+		rs.AddFlight(Flight{
+			Number:   n,
+			Origin:   cities[i%len(cities)],
+			Dest:     cities[(i+1)%len(cities)],
+			Capacity: capacity,
+			Fare:     10000 + 100*(i%50),
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// Package baseline implements the two comparator protocols from the
+// paper's efficiency experiment (Figure 4):
+//
+//   - the time-sharing protocol, which "allows travel agents to execute
+//     one after another", keeping control messages to a minimum, and
+//   - the multicast-based protocol, which "does not discriminate between
+//     cache managers and asks all of them to send updates" — the maximum
+//     an application-oblivious protocol would generate.
+//
+// Both reuse the Flecc runtime machinery (the same store, registry, and
+// cache managers) so that the only variable in the experiment is the
+// synchronization policy.
+package baseline
+
+import (
+	"sync"
+
+	"flecc/internal/directory"
+	"flecc/internal/image"
+	"flecc/internal/transport"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+// NewMulticast builds a directory manager running the multicast baseline:
+// every pull gathers pending updates from every active view, regardless of
+// data properties.
+func NewMulticast(name string, primary image.Codec, clock vclock.Clock, net transport.Network) (*directory.Manager, error) {
+	return directory.New(name, primary, clock, net, directory.Options{
+		GatherAll:    true,
+		AlwaysGather: true,
+	})
+}
+
+// TimeSharing is a directory manager running the time-sharing baseline: a
+// single token serializes the agents; the holder pulls, works, pushes and
+// releases. Because execution is serial, pulls never need to gather or
+// invalidate — the primary always holds the latest committed state when
+// the token is granted.
+type TimeSharing struct {
+	*directory.Manager
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	holder string
+	grants int64
+}
+
+// NewTimeSharing builds the time-sharing directory manager.
+func NewTimeSharing(name string, primary image.Codec, clock vclock.Clock, net transport.Network) (*TimeSharing, error) {
+	ts := &TimeSharing{}
+	ts.cond = sync.NewCond(&ts.mu)
+	dm, err := directory.New(name, primary, clock, net, directory.Options{
+		NeverGather: true,
+		Handler:     ts.handle,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts.Manager = dm
+	return ts, nil
+}
+
+// handle intercepts the token messages; everything else falls through to
+// the embedded Flecc dispatch.
+func (ts *TimeSharing) handle(req *wire.Message) *wire.Message {
+	switch req.Type {
+	case wire.TAcquire:
+		ts.mu.Lock()
+		for ts.holder != "" && ts.holder != req.From {
+			ts.cond.Wait()
+		}
+		ts.holder = req.From
+		ts.grants++
+		ts.mu.Unlock()
+		return &wire.Message{Type: wire.TAck}
+	case wire.TRelease:
+		ts.mu.Lock()
+		if ts.holder == req.From {
+			ts.holder = ""
+			ts.cond.Broadcast()
+		}
+		ts.mu.Unlock()
+		return &wire.Message{Type: wire.TAck}
+	case wire.TUnregister:
+		// A dying holder must not wedge the token.
+		ts.mu.Lock()
+		if ts.holder == req.From {
+			ts.holder = ""
+			ts.cond.Broadcast()
+		}
+		ts.mu.Unlock()
+		return nil // fall through to the normal unregister
+	default:
+		return nil
+	}
+}
+
+// Holder returns the current token holder ("" when free).
+func (ts *TimeSharing) Holder() string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.holder
+}
+
+// Grants returns the number of token grants issued.
+func (ts *TimeSharing) Grants() int64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.grants
+}

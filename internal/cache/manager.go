@@ -1,0 +1,693 @@
+// Package cache implements Flecc's cache manager (paper §4.2): the runtime
+// component created alongside each deployed view. It forwards the view's
+// requests to the directory manager, executes the commands the directory
+// manager sends back (invalidations and fetches), and evaluates the view's
+// push/pull quality triggers so the application can delegate its
+// synchronization decisions to the system.
+//
+// The exported API mirrors the paper's Figure 3 pseudo-code:
+//
+//	cm, _ := cache.New(cfg)        // create cache manager (steps 1–2)
+//	cm.InitImage()                 // initialize data (steps 3–5)
+//	cm.PullImage()
+//	cm.StartUse()                  // mutual exclusion (step 6)
+//	... work on the view's data ...
+//	cm.EndUse()                    // step 7
+//	cm.PushImage()
+//	cm.KillImage()                 // steps 20–21
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flecc/internal/image"
+	"flecc/internal/property"
+	"flecc/internal/transport"
+	"flecc/internal/trigger"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+// ErrInvalidated is returned by StartUse when the view's image was
+// invalidated by the directory manager (another view acquired exclusive
+// access in strong mode). The view must PullImage again before using the
+// data — exactly what the paper's travel-agent loop does on every
+// iteration.
+var ErrInvalidated = errors.New("cache: image invalidated; pull before use")
+
+// ErrNotInitialized is returned when the image is used before InitImage.
+var ErrNotInitialized = errors.New("cache: image not initialized")
+
+// Config assembles everything a view supplies when creating its cache
+// manager (the constructor arguments in Figure 3).
+type Config struct {
+	// Name is the view's unique node name.
+	Name string
+	// Directory is the directory manager's node name.
+	Directory string
+	// Net is the network both managers are attached to.
+	Net transport.Network
+	// View is the application view's extract/merge implementation
+	// (mergeIntoView / extractFromView).
+	View image.Codec
+	// Props is the view's initial data property set.
+	Props property.Set
+	// Mode is the initial consistency mode.
+	Mode wire.Mode
+	// PushTrigger, PullTrigger, ValidityTrigger are quality-trigger
+	// sources; empty strings mean "no trigger".
+	PushTrigger, PullTrigger, ValidityTrigger string
+	// Vars supplies the view's variables for trigger evaluation (the
+	// paper's prototype used Java reflection; here the view exports them
+	// explicitly). May be nil if the triggers reference only builtins.
+	Vars trigger.Env
+	// Clock supplies the discrete time for trigger evaluation.
+	Clock vclock.Clock
+	// Op is the view's default operation class (used by the read/write
+	// extension; OpWrite when unset).
+	Op wire.OpClass
+}
+
+// Manager is the view-side protocol endpoint.
+type Manager struct {
+	name   string
+	dir    string
+	view   image.Codec
+	vars   trigger.Env
+	clock  vclock.Clock
+	op     wire.OpClass
+	ep     transport.Endpoint
+	pushTr trigger.Trigger
+	pullTr trigger.Trigger
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	props       property.Set
+	mode        wire.Mode
+	inUse       bool
+	valid       bool
+	initialized bool
+	killed      bool
+	base        *image.Image // last synchronized snapshot
+	seen        vclock.Version
+	pendingOps  int
+	// lastPull/lastPush are virtual times for the sincePull/sincePush
+	// trigger variables.
+	lastPull, lastPush vclock.Time
+	// invalidations counts how many times the DM stopped this view.
+	invalidations int
+	// cancelTick stops the trigger scheduler.
+	cancelTick func()
+}
+
+// New creates the cache manager, attaches it to the network, and registers
+// the view with the directory manager (Figure 2, steps 1–2).
+func New(cfg Config) (*Manager, error) {
+	if cfg.Name == "" || cfg.Directory == "" {
+		return nil, fmt.Errorf("cache: Name and Directory are required")
+	}
+	if cfg.Net == nil || cfg.View == nil || cfg.Clock == nil {
+		return nil, fmt.Errorf("cache: Net, View and Clock are required")
+	}
+	pushTr, err := trigger.Compile(cfg.PushTrigger)
+	if err != nil {
+		return nil, fmt.Errorf("cache: push trigger: %w", err)
+	}
+	pullTr, err := trigger.Compile(cfg.PullTrigger)
+	if err != nil {
+		return nil, fmt.Errorf("cache: pull trigger: %w", err)
+	}
+	m := &Manager{
+		name:   cfg.Name,
+		dir:    cfg.Directory,
+		view:   cfg.View,
+		vars:   cfg.Vars,
+		clock:  cfg.Clock,
+		op:     cfg.Op,
+		pushTr: pushTr,
+		pullTr: pullTr,
+		props:  cfg.Props.Clone(),
+		mode:   cfg.Mode,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	ep, err := cfg.Net.Attach(cfg.Name, m.handle)
+	if err != nil {
+		return nil, fmt.Errorf("cache: attach %q: %w", cfg.Name, err)
+	}
+	m.ep = ep
+	_, err = ep.Call(cfg.Directory, &wire.Message{
+		Type:  wire.TRegister,
+		View:  cfg.Name,
+		Mode:  cfg.Mode,
+		Op:    cfg.Op,
+		Props: cfg.Props,
+		Trig: wire.Triggers{
+			Push:     cfg.PushTrigger,
+			Pull:     cfg.PullTrigger,
+			Validity: cfg.ValidityTrigger,
+		},
+	})
+	if err != nil {
+		ep.Close()
+		return nil, fmt.Errorf("cache: register %q: %w", cfg.Name, err)
+	}
+	return m, nil
+}
+
+// Name returns the view's node name.
+func (m *Manager) Name() string { return m.name }
+
+// Mode returns the current consistency mode.
+func (m *Manager) Mode() wire.Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mode
+}
+
+// Seen returns the primary version this view has observed.
+func (m *Manager) Seen() vclock.Version {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seen
+}
+
+// Valid reports whether the view's image is currently valid (not
+// invalidated by the directory manager).
+func (m *Manager) Valid() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.valid
+}
+
+// PendingOps returns the number of use windows not yet pushed or fetched —
+// the locally visible part of the paper's quality metric from the peers'
+// perspective.
+func (m *Manager) PendingOps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pendingOps
+}
+
+// Invalidations returns how many times the directory manager stopped this
+// view.
+func (m *Manager) Invalidations() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.invalidations
+}
+
+// InitImage fetches the view's initial data (Figure 2, steps 3–5).
+func (m *Manager) InitImage() error {
+	reply, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TInit})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.applyIncomingLocked(reply.Img, reply.Version); err != nil {
+		return err
+	}
+	m.initialized = true
+	m.valid = true
+	m.lastPull = m.clock.Now()
+	return nil
+}
+
+// PullImage updates the view's shared data with the value held by the
+// original component. In strong mode this (transitively) invalidates any
+// conflicting active view; in weak mode the directory manager may first
+// gather peers' pending updates, depending on the validity trigger.
+func (m *Manager) PullImage() error {
+	m.mu.Lock()
+	if !m.initialized {
+		m.mu.Unlock()
+		return ErrNotInitialized
+	}
+	since := m.seen
+	m.mu.Unlock()
+
+	reply, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TPull, Since: since, Op: m.op})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.applyIncomingLocked(reply.Img, reply.Version); err != nil {
+		return err
+	}
+	m.valid = true
+	m.lastPull = m.clock.Now()
+	return nil
+}
+
+// PushImage sends the view's modified data to the original component. It
+// extracts the current view state, diffs it against the last synchronized
+// snapshot, and sends only the changed entries (stamped with the version
+// they were based on, for conflict detection at the primary). A clean view
+// sends nothing.
+func (m *Manager) PushImage() error {
+	m.mu.Lock()
+	if !m.initialized {
+		m.mu.Unlock()
+		return ErrNotInitialized
+	}
+	delta, ops, cur, err := m.extractDeltaLocked()
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if delta.Len() == 0 {
+		m.pendingOps = 0
+		m.lastPush = m.clock.Now()
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
+
+	reply, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TPush, Img: delta, Ops: uint32(ops)})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.base = cur
+	m.pendingOps = 0
+	m.lastPush = m.clock.Now()
+	// Note: seen does NOT advance here. The push ack's version covers only
+	// this view's own commit; updates other writers committed since the
+	// last pull remain unobserved, and advancing seen past them would make
+	// later delta pulls skip them forever.
+	//
+	// If the directory's resolver rejected some of our entries, the ack
+	// carries the winning values; adopt them so the view converges on the
+	// resolved state instead of silently keeping the losing data.
+	if reply.Img != nil && reply.Img.Len() > 0 {
+		winners := reply.Img.Clone()
+		winners.Version = 0 // do not advance seen (see above)
+		if err := m.applyIncomingLocked(winners, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartUse marks the beginning of a mutually exclusive work window on the
+// shared data (Figure 2, step 6). While a window is open, the cache
+// manager will not merge or extract updates. StartUse fails with
+// ErrInvalidated if the image was invalidated since the last pull.
+func (m *Manager) StartUse() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.initialized {
+		return ErrNotInitialized
+	}
+	if m.killed {
+		return transport.ErrClosed
+	}
+	if !m.valid {
+		return ErrInvalidated
+	}
+	for m.inUse {
+		m.cond.Wait()
+	}
+	m.inUse = true
+	return nil
+}
+
+// EndUse closes the work window (Figure 2, step 7) and counts one logical
+// operation on the shared data.
+func (m *Manager) EndUse() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.inUse {
+		return
+	}
+	m.inUse = false
+	m.pendingOps++
+	m.cond.Broadcast()
+}
+
+// Acquire requests the protocol-level token from the directory side. The
+// base Flecc protocol does not use tokens (mutual exclusion is handled by
+// invalidations); the time-sharing baseline serializes agents with it.
+func (m *Manager) Acquire() error {
+	_, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TAcquire, Op: m.op})
+	return err
+}
+
+// Release returns the token obtained with Acquire.
+func (m *Manager) Release() error {
+	_, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TRelease})
+	return err
+}
+
+// SetMode switches the view between strong and weak operation at run time.
+func (m *Manager) SetMode(mode wire.Mode) error {
+	if _, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TSetMode, Mode: mode}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.mode = mode
+	m.mu.Unlock()
+	return nil
+}
+
+// SetProps installs a new dynamic property set for the view.
+func (m *Manager) SetProps(props property.Set) error {
+	if _, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TSetProps, Props: props}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.props = props.Clone()
+	m.mu.Unlock()
+	return nil
+}
+
+// KillImage pushes any pending changes, unregisters the view, and detaches
+// from the network (Figure 2, steps 20–21).
+func (m *Manager) KillImage() error {
+	m.StopTriggers()
+	m.mu.Lock()
+	dirty := m.initialized && m.valid && m.pendingOps > 0
+	m.killed = true
+	m.mu.Unlock()
+	if dirty {
+		if err := m.PushImage(); err != nil {
+			return fmt.Errorf("cache: final push: %w", err)
+		}
+	}
+	if _, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TUnregister}); err != nil {
+		m.ep.Close()
+		return err
+	}
+	return m.ep.Close()
+}
+
+// applyIncomingLocked folds an incoming image (init/pull reply or DM
+// update) into the snapshot and the application view. Entries the view has
+// modified locally since the last synchronization are NOT overwritten —
+// the local change stays pending and is reconciled at push time by the
+// directory manager's conflict detection (the pushed entry still carries
+// its old base version, so a concurrent remote write is detected and
+// handed to the application resolver). Caller holds mu.
+func (m *Manager) applyIncomingLocked(img *image.Image, ver vclock.Version) error {
+	if m.base == nil {
+		m.base = image.New(m.props.Clone())
+	}
+	if img != nil && img.Len() > 0 {
+		apply := img
+		if m.initialized {
+			if cur, err := m.view.Extract(m.props); err == nil && cur != nil {
+				apply = image.New(img.Props.Clone())
+				apply.Version = img.Version
+				for _, k := range img.Keys() {
+					in := img.Entries[k]
+					ce, curOK := cur.Get(k)
+					be, baseOK := m.base.Get(k)
+					dirty := curOK != (baseOK && !be.Deleted) ||
+						(curOK && baseOK && !ce.Equal(be))
+					if dirty && !(curOK && ce.Equal(in)) {
+						// Keep the local pending change; skip this entry
+						// (and leave its base snapshot untouched so the
+						// push carries the old base version).
+						continue
+					}
+					apply.Put(in.Clone())
+				}
+			}
+		}
+		// Merging into the view is the application's mergeIntoView; a
+		// failing merge must not half-update the snapshot, so the base is
+		// only advanced afterwards.
+		if err := m.view.Merge(apply, m.props); err != nil {
+			return fmt.Errorf("cache: merge into view: %w", err)
+		}
+		for _, k := range apply.Keys() {
+			m.base.Put(apply.Entries[k].Clone())
+		}
+	}
+	if ver > m.seen {
+		m.seen = ver
+	}
+	if img != nil && img.Version > m.seen {
+		m.seen = img.Version
+	}
+	m.base.Version = m.seen
+	return nil
+}
+
+// extractDeltaLocked extracts the current view state and returns the
+// changed entries (relative to base), the pending op count, and the full
+// current snapshot. Delta entries carry the version of the base data they
+// supersede. Caller holds mu.
+func (m *Manager) extractDeltaLocked() (*image.Image, int, *image.Image, error) {
+	cur, err := m.view.Extract(m.props)
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("cache: extract from view: %w", err)
+	}
+	if cur == nil {
+		cur = image.New(m.props.Clone())
+	}
+	cur.Props = m.props.Clone()
+	delta := image.New(m.props.Clone())
+	for k, e := range cur.Entries {
+		be, ok := m.base.Get(k)
+		if ok && e.Equal(be) {
+			continue
+		}
+		out := e.Clone()
+		if ok {
+			out.Version = be.Version // version the change was based on
+		} else {
+			out.Version = 0
+		}
+		out.Writer = m.name
+		delta.Put(out)
+	}
+	// Deletions: keys in base missing from the current extract.
+	for k, be := range m.base.Entries {
+		if _, ok := cur.Get(k); !ok && !be.Deleted {
+			delta.Put(image.Entry{Key: k, Version: be.Version, Writer: m.name, Deleted: true})
+		}
+	}
+	return delta, m.pendingOps, cur, nil
+}
+
+// handle serves directory-manager-initiated commands.
+func (m *Manager) handle(req *wire.Message) *wire.Message {
+	switch req.Type {
+	case wire.TInvalidate:
+		return m.handleInvalidate()
+	case wire.TPull:
+		return m.handleFetch()
+	case wire.TUpdate:
+		return m.handleUpdate(req)
+	default:
+		return &wire.Message{Type: wire.TErr, Err: fmt.Sprintf("cache %s: unexpected message %s", m.name, req.Type)}
+	}
+}
+
+// handleInvalidate implements Figure 2 steps 12–14 from the view side:
+// wait for any open use window, surrender pending updates, and stop using
+// the data.
+func (m *Manager) handleInvalidate() *wire.Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.inUse {
+		m.cond.Wait()
+	}
+	if !m.initialized {
+		return &wire.Message{Type: wire.TImage}
+	}
+	delta, ops, cur, err := m.extractDeltaLocked()
+	if err != nil {
+		return &wire.Message{Type: wire.TErr, Err: err.Error()}
+	}
+	m.base = cur
+	m.pendingOps = 0
+	m.valid = false
+	m.invalidations++
+	return &wire.Message{Type: wire.TImage, Img: delta, Ops: uint32(ops)}
+}
+
+// handleFetch surrenders pending updates without stopping the view
+// (weak-mode gathering).
+func (m *Manager) handleFetch() *wire.Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.inUse {
+		m.cond.Wait()
+	}
+	if !m.initialized {
+		return &wire.Message{Type: wire.TImage}
+	}
+	delta, ops, cur, err := m.extractDeltaLocked()
+	if err != nil {
+		return &wire.Message{Type: wire.TErr, Err: err.Error()}
+	}
+	m.base = cur
+	m.pendingOps = 0
+	return &wire.Message{Type: wire.TImage, Img: delta, Ops: uint32(ops)}
+}
+
+// handleUpdate applies a DM-initiated update (push-propagation, used by
+// the propagation ablation).
+func (m *Manager) handleUpdate(req *wire.Message) *wire.Message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.inUse {
+		m.cond.Wait()
+	}
+	if err := m.applyIncomingLocked(req.Img, req.Version); err != nil {
+		return &wire.Message{Type: wire.TErr, Err: err.Error()}
+	}
+	return &wire.Message{Type: wire.TAck}
+}
+
+// triggerEnv builds the evaluation environment for push/pull triggers:
+// the view's own variables plus the builtins pending, sincePull and
+// sincePush. Caller holds mu.
+func (m *Manager) triggerEnvLocked() trigger.Env {
+	now := m.clock.Now()
+	builtins := trigger.MapEnv{
+		"pending":   float64(m.pendingOps),
+		"sincePull": float64(now - m.lastPull),
+		"sincePush": float64(now - m.lastPush),
+	}
+	if m.vars == nil {
+		return builtins
+	}
+	return chainEnv{first: builtins, rest: m.vars}
+}
+
+type chainEnv struct {
+	first trigger.MapEnv
+	rest  trigger.Env
+}
+
+func (c chainEnv) Lookup(name string) (float64, bool) {
+	if v, ok := c.first[name]; ok {
+		return v, true
+	}
+	return c.rest.Lookup(name)
+}
+
+// EvaluateTriggers evaluates the push and pull triggers at the current
+// virtual time and performs the corresponding synchronization. It returns
+// (pushed, pulled). Trigger evaluation is skipped while a use window is
+// open (the view marked the data as mutually exclusive).
+func (m *Manager) EvaluateTriggers() (pushed, pulled bool, err error) {
+	m.mu.Lock()
+	if m.inUse || !m.initialized || m.killed {
+		m.mu.Unlock()
+		return false, false, nil
+	}
+	env := m.triggerEnvLocked()
+	now := float64(m.clock.Now())
+	firePush, errPush := m.pushTr.Fire(now, env)
+	firePull, errPull := m.pullTr.Fire(now, env)
+	m.mu.Unlock()
+	if errPush != nil {
+		return false, false, fmt.Errorf("cache: push trigger: %w", errPush)
+	}
+	if errPull != nil {
+		return false, false, fmt.Errorf("cache: pull trigger: %w", errPull)
+	}
+	if firePush {
+		if err := m.PushImage(); err != nil {
+			return false, false, err
+		}
+		pushed = true
+	}
+	if firePull {
+		if err := m.PullImage(); err != nil {
+			return pushed, false, err
+		}
+		pulled = true
+	}
+	return pushed, pulled, nil
+}
+
+// ScheduleTriggers arranges for EvaluateTriggers to run every period
+// virtual milliseconds on a simulated clock. It is a no-op (returning
+// false) when the manager has no triggers or the clock is not a *vclock.Sim.
+// Use StopTriggers (or KillImage) to cancel.
+func (m *Manager) ScheduleTriggers(period vclock.Duration) bool {
+	sim, ok := m.clock.(*vclock.Sim)
+	if !ok || (m.pushTr.IsZero() && m.pullTr.IsZero()) || period <= 0 {
+		return false
+	}
+	m.mu.Lock()
+	if m.cancelTick != nil || m.killed {
+		m.mu.Unlock()
+		return false
+	}
+	stopped := false
+	m.cancelTick = func() { stopped = true }
+	m.mu.Unlock()
+
+	var tick func()
+	tick = func() {
+		m.mu.Lock()
+		dead := m.killed || stopped
+		m.mu.Unlock()
+		if dead {
+			return
+		}
+		_, _, _ = m.EvaluateTriggers()
+		sim.After(period, tick)
+	}
+	sim.After(period, tick)
+	return true
+}
+
+// StartTicker evaluates the push/pull triggers every period of wall time
+// on a background goroutine — the scheduling mode for real (non-simulated)
+// deployments such as fleccview. It returns a stop function (safe to call
+// more than once), or nil when the manager has no triggers. Evaluation
+// errors are delivered to onErr (may be nil to ignore them).
+func (m *Manager) StartTicker(period time.Duration, onErr func(error)) (stop func()) {
+	if m.pushTr.IsZero() && m.pullTr.IsZero() || period <= 0 {
+		return nil
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if _, _, err := m.EvaluateTriggers(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// StopTriggers cancels the trigger scheduler (idempotent).
+func (m *Manager) StopTriggers() {
+	m.mu.Lock()
+	if m.cancelTick != nil {
+		m.cancelTick()
+		m.cancelTick = nil
+	}
+	m.mu.Unlock()
+}
+
+// Base returns a clone of the last synchronized snapshot (tests/tools).
+func (m *Manager) Base() *image.Image {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.base == nil {
+		return nil
+	}
+	return m.base.Clone()
+}

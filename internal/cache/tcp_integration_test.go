@@ -1,0 +1,85 @@
+package cache_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"flecc/internal/cache"
+	"flecc/internal/directory"
+	"flecc/internal/property"
+	"flecc/internal/transport"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+// TestProtocolOverTCP runs the full directory/cache protocol over real TCP
+// connections: registration, init, strong-mode invalidation across two
+// separately dialed cache managers, push/pull, and teardown.
+func TestProtocolOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vclock.NewReal()
+	snet := transport.NewServerNetwork(ln, 5*time.Second)
+	prim := newKV(map[string]string{"seed": "s0"})
+	dm, err := directory.New("dm", prim, clock, snet, directory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dm.Close()
+
+	dnet := transport.NewDialNetwork(ln.Addr().String(), 5*time.Second)
+	mk := func(name string, view *kvView) *cache.Manager {
+		cm, err := cache.New(cache.Config{
+			Name: name, Directory: "dm", Net: dnet, View: view,
+			Props: property.MustSet("P={x}"), Mode: wire.Strong, Clock: clock,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cm
+	}
+	v1 := newKV(nil)
+	v2 := newKV(nil)
+	cm1 := mk("v1", v1)
+	cm2 := mk("v2", v2)
+
+	if err := cm1.InitImage(); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Get("seed") != "s0" {
+		t.Fatal("init over TCP")
+	}
+	if err := cm1.StartUse(); err != nil {
+		t.Fatal(err)
+	}
+	v1.Set("x", "tcp-write")
+	cm1.EndUse()
+
+	if err := cm2.InitImage(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm2.PullImage(); err != nil {
+		t.Fatal(err)
+	}
+	if cm1.Valid() {
+		t.Fatal("v1 should be invalidated over TCP")
+	}
+	if v2.Get("x") != "tcp-write" {
+		t.Fatalf("v2 sees x=%q", v2.Get("x"))
+	}
+	if err := cm2.KillImage(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm1.KillImage(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dm.Views()); got != 0 {
+		t.Fatalf("views remaining: %d", got)
+	}
+	if prim.Get("x") != "tcp-write" {
+		t.Fatal("final state should be at the primary")
+	}
+}

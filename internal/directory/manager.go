@@ -1,0 +1,528 @@
+package directory
+
+import (
+	"fmt"
+	"sync"
+
+	"flecc/internal/image"
+	"flecc/internal/property"
+	"flecc/internal/registry"
+	"flecc/internal/transport"
+	"flecc/internal/trigger"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+// Options tunes the directory manager's policies. The zero value is the
+// Flecc protocol as described in the paper; the baseline protocols in
+// internal/baseline are expressed as option presets.
+type Options struct {
+	// GatherAll makes every pull gather updates from ALL active views
+	// instead of only the conflicting ones — the multicast baseline
+	// ("does not discriminate between cache managers and asks all of them
+	// to send updates").
+	GatherAll bool
+	// AlwaysGather forces gathering on every pull even when the view's
+	// validity trigger says the primary data is good enough (or when the
+	// view registered no validity trigger).
+	AlwaysGather bool
+	// NeverGather disables gathering entirely; pulls serve whatever the
+	// primary holds. Used by the time-sharing baseline, where serial
+	// execution makes gathering unnecessary.
+	NeverGather bool
+	// PropagateOnPush switches weak-mode update distribution from
+	// pull-based (peers learn of changes when they next pull) to
+	// push-based: every committed push is immediately forwarded, as a
+	// TUpdate restricted to the shared interest, to the conflicting
+	// active views. Update protocols favor read-heavy sharing; the
+	// propagation ablation (experiments E10) measures the trade-off.
+	PropagateOnPush bool
+	// ReadAware enables the read/write-semantics extension (paper §6
+	// future work): pulls tagged OpRead by strong-mode views do not
+	// invalidate other active readers, only writers are exclusive.
+	ReadAware bool
+	// Resolver is the application conflict resolver installed on the
+	// store.
+	Resolver image.Resolver
+	// Handler, if non-nil, is consulted before the built-in dispatch; a
+	// non-nil reply short-circuits. Protocol variants (e.g. the
+	// time-sharing baseline's token grants) hook in here.
+	Handler func(req *wire.Message) *wire.Message
+	// Snapshot, if non-nil, restores a failed directory manager's
+	// protocol metadata into this (standby) instance before it starts
+	// serving — the fail-safe mechanism sketched in §4.1.
+	Snapshot *Snapshot
+}
+
+// viewState is the DM-side record for one registered view.
+type viewState struct {
+	name     string
+	mode     wire.Mode
+	seen     vclock.Version
+	validity trigger.Trigger
+	// lastOp is the op class of the view's most recent acquire/pull; the
+	// read-aware extension uses it to decide whether an active view must
+	// be invalidated by a reader.
+	lastOp wire.OpClass
+}
+
+// Manager is the Flecc directory manager: one per original component.
+type Manager struct {
+	name  string
+	store *Store
+	reg   *registry.Registry
+	clock vclock.Clock
+	opts  Options
+
+	ep transport.Endpoint
+
+	mu    sync.Mutex
+	views map[string]*viewState
+}
+
+// New creates a directory manager named name around the original
+// component's codec and attaches it to the network. Initially only the
+// directory manager is running in the system (paper §4.2).
+func New(name string, primary image.Codec, clock vclock.Clock, net transport.Network, opts Options) (*Manager, error) {
+	m := &Manager{
+		name:  name,
+		store: NewStore(primary, clock),
+		reg:   registry.New(),
+		clock: clock,
+		opts:  opts,
+		views: map[string]*viewState{},
+	}
+	if opts.Resolver != nil {
+		m.store.SetResolver(opts.Resolver)
+	}
+	if opts.Snapshot != nil {
+		if err := m.store.Restore(opts.Snapshot); err != nil {
+			return nil, err
+		}
+	}
+	ep, err := net.Attach(name, m.handle)
+	if err != nil {
+		return nil, fmt.Errorf("directory: attach %q: %w", name, err)
+	}
+	m.ep = ep
+	return m, nil
+}
+
+// Name returns the directory manager's node name.
+func (m *Manager) Name() string { return m.name }
+
+// Store exposes the primary store (for tools, tests, and the quality
+// metric).
+func (m *Manager) Store() *Store { return m.store }
+
+// Registry exposes the conflict registry so deployments can install the
+// static conflict map before views arrive.
+func (m *Manager) Registry() *registry.Registry { return m.reg }
+
+// Close detaches the manager from the network.
+func (m *Manager) Close() error { return m.ep.Close() }
+
+// CurrentVersion returns the primary's committed version.
+func (m *Manager) CurrentVersion() vclock.Version { return m.store.Current() }
+
+// Views returns the registered view names.
+func (m *Manager) Views() []string { return m.reg.Views() }
+
+// UnseenCommitted returns the committed part of the paper's quality metric
+// for a view: ops committed to shared data by other writers that the view
+// has not yet observed. Unknown views report 0.
+func (m *Manager) UnseenCommitted(view string) int {
+	m.mu.Lock()
+	vs, ok := m.views[view]
+	m.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	props, _ := m.reg.Props(view)
+	m.mu.Lock()
+	seen := vs.seen
+	m.mu.Unlock()
+	return m.store.UnseenOps(seen, view, props)
+}
+
+// Seen returns the primary version a view last observed.
+func (m *Manager) Seen(view string) vclock.Version {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if vs, ok := m.views[view]; ok {
+		return vs.seen
+	}
+	return 0
+}
+
+// handle is the DM protocol FSM entry point.
+func (m *Manager) handle(req *wire.Message) *wire.Message {
+	if m.opts.Handler != nil {
+		if reply := m.opts.Handler(req); reply != nil {
+			return reply
+		}
+	}
+	switch req.Type {
+	case wire.TRegister:
+		return m.handleRegister(req)
+	case wire.TUnregister:
+		return m.handleUnregister(req)
+	case wire.TInit:
+		return m.handleInit(req)
+	case wire.TPull:
+		return m.handlePull(req)
+	case wire.TPush:
+		return m.handlePush(req)
+	case wire.TSetMode:
+		return m.handleSetMode(req)
+	case wire.TSetProps:
+		return m.handleSetProps(req)
+	default:
+		return errf("directory %s: unexpected message %s", m.name, req.Type)
+	}
+}
+
+func errf(format string, args ...any) *wire.Message {
+	return &wire.Message{Type: wire.TErr, Err: fmt.Sprintf(format, args...)}
+}
+
+func (m *Manager) handleRegister(req *wire.Message) *wire.Message {
+	view := req.From
+	if req.View != "" {
+		view = req.View
+	}
+	val, err := trigger.Compile(req.Trig.Validity)
+	if err != nil {
+		return errf("bad validity trigger for %s: %v", view, err)
+	}
+	if err := m.reg.Register(view, req.Props); err != nil {
+		return errf("%v", err)
+	}
+	m.mu.Lock()
+	m.views[view] = &viewState{name: view, mode: req.Mode, validity: val, lastOp: req.Op}
+	m.mu.Unlock()
+	return &wire.Message{Type: wire.TAck, Version: m.store.Current()}
+}
+
+func (m *Manager) handleUnregister(req *wire.Message) *wire.Message {
+	view := req.From
+	m.reg.Unregister(view)
+	m.mu.Lock()
+	delete(m.views, view)
+	m.mu.Unlock()
+	return &wire.Message{Type: wire.TAck}
+}
+
+func (m *Manager) viewState(view string) (*viewState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs, ok := m.views[view]
+	return vs, ok
+}
+
+func (m *Manager) handleInit(req *wire.Message) *wire.Message {
+	view := req.From
+	vs, ok := m.viewState(view)
+	if !ok {
+		return errf("init from unregistered view %s", view)
+	}
+	props, _ := m.reg.Props(view)
+	img, err := m.store.Extract(props, 0)
+	if err != nil {
+		return errf("%v", err)
+	}
+	m.mu.Lock()
+	vs.seen = img.Version
+	m.mu.Unlock()
+	m.reg.SetActive(view, true)
+	return &wire.Message{Type: wire.TImage, Img: img, Version: img.Version}
+}
+
+// handlePull is the heart of the protocol (paper Figure 2). Serving a pull
+// may require invalidating conflicting active views (strong mode) or
+// gathering their pending updates (weak mode with an unhappy validity
+// trigger) before extracting the primary data for the requester.
+func (m *Manager) handlePull(req *wire.Message) *wire.Message {
+	view := req.From
+	vs, ok := m.viewState(view)
+	if !ok {
+		return errf("pull from unregistered view %s", view)
+	}
+	m.mu.Lock()
+	mode := vs.mode
+	vs.lastOp = req.Op
+	m.mu.Unlock()
+
+	// 1. Invalidation set: a strong-mode pull stops every conflicting
+	// active view; a weak-mode pull only stops conflicting active
+	// strong-mode views (their one-copy guarantee would otherwise be
+	// violated by a second active sharer).
+	for _, other := range m.conflictSet(view, true) {
+		os, ok := m.viewState(other)
+		if !ok {
+			continue
+		}
+		m.mu.Lock()
+		otherMode := os.mode
+		otherOp := os.lastOp
+		m.mu.Unlock()
+		invalidate := mode == wire.Strong || otherMode == wire.Strong
+		if m.opts.ReadAware && invalidate {
+			// Readers coexist: only writer/writer and writer/reader pairs
+			// are exclusive.
+			if req.Op == wire.OpRead && otherOp == wire.OpRead {
+				invalidate = false
+			}
+		}
+		if !invalidate {
+			continue
+		}
+		if err := m.invalidateView(other); err != nil {
+			return errf("invalidate %s: %v", other, err)
+		}
+	}
+
+	// 2. Gathering: when the primary's data is not "good enough" for this
+	// view, fetch pending updates from the other active sharers first.
+	if m.shouldGather(vs, req) {
+		targets := m.gatherTargets(view)
+		for _, other := range targets {
+			if err := m.fetchFrom(other); err != nil {
+				return errf("fetch from %s: %v", other, err)
+			}
+		}
+	}
+
+	// 3. Serve the (now freshest-known) primary data.
+	props, _ := m.reg.Props(view)
+	img, err := m.store.Extract(props, req.Since)
+	if err != nil {
+		return errf("%v", err)
+	}
+	m.mu.Lock()
+	vs.seen = img.Version
+	m.mu.Unlock()
+	m.reg.SetActive(view, true)
+	return &wire.Message{Type: wire.TImage, Img: img, Version: img.Version}
+}
+
+// conflictSet returns the views whose data overlaps the given view's,
+// honoring the static map; with GatherAll it is simply everyone else.
+func (m *Manager) conflictSet(view string, activeOnly bool) []string {
+	if m.opts.GatherAll {
+		var out []string
+		for _, other := range m.reg.Views() {
+			if other == view {
+				continue
+			}
+			if activeOnly && !m.reg.Active(other) {
+				continue
+			}
+			out = append(out, other)
+		}
+		return out
+	}
+	return m.reg.ConflictingWith(view, activeOnly)
+}
+
+func (m *Manager) shouldGather(vs *viewState, req *wire.Message) bool {
+	if m.opts.NeverGather {
+		return false
+	}
+	if m.opts.AlwaysGather {
+		return true
+	}
+	m.mu.Lock()
+	val := vs.validity
+	seen := vs.seen
+	m.mu.Unlock()
+	if val.IsZero() {
+		// No validity trigger: the view accepts the primary data as-is.
+		return false
+	}
+	// The validity trigger answers "is the primary data good enough?".
+	// Its environment exposes the discrete time t, the primary version,
+	// and the view's committed staleness.
+	props, _ := m.reg.Props(vs.name)
+	env := trigger.MapEnv{
+		"version":   float64(m.store.Current()),
+		"staleness": float64(m.store.UnseenOps(seen, vs.name, props)),
+	}
+	good, err := val.Fire(float64(m.clock.Now()), env)
+	if err != nil {
+		// A broken trigger must not stall the protocol; be conservative
+		// and gather.
+		return true
+	}
+	return !good
+}
+
+func (m *Manager) gatherTargets(view string) []string {
+	return m.conflictSet(view, true)
+}
+
+// invalidateView sends TInvalidate, commits the returned pending delta,
+// and deactivates the view (Figure 2, steps 12–14).
+func (m *Manager) invalidateView(target string) error {
+	reply, err := m.ep.Call(target, &wire.Message{Type: wire.TInvalidate, View: target})
+	if err != nil {
+		return err
+	}
+	m.reg.SetActive(target, false)
+	return m.commitReply(target, reply)
+}
+
+// fetchFrom asks an active view for its pending updates without stopping
+// it (weak-mode gathering).
+func (m *Manager) fetchFrom(target string) error {
+	reply, err := m.ep.Call(target, &wire.Message{Type: wire.TPull, View: target})
+	if err != nil {
+		return err
+	}
+	return m.commitReply(target, reply)
+}
+
+func (m *Manager) commitReply(writer string, reply *wire.Message) error {
+	if reply.Img == nil || reply.Img.Len() == 0 {
+		return nil
+	}
+	// Rejected winners are not pushed back here: invalidated views must
+	// pull before their next use anyway, and fetched views will see the
+	// winning values on their next pull.
+	_, _, _, err := m.store.Commit(writer, reply.Img, int(reply.Ops))
+	return err
+}
+
+func (m *Manager) handlePush(req *wire.Message) *wire.Message {
+	view := req.From
+	if _, ok := m.viewState(view); !ok {
+		return errf("push from unregistered view %s", view)
+	}
+	ver, _, rejected, err := m.store.Commit(view, req.Img, int(req.Ops))
+	if err != nil {
+		return errf("%v", err)
+	}
+	if m.opts.PropagateOnPush {
+		if err := m.propagate(view, ver); err != nil {
+			return errf("propagate: %v", err)
+		}
+	}
+	// The ack carries the winning values for any entries the resolver
+	// rejected, so the pusher converges on the resolved state.
+	return &wire.Message{Type: wire.TAck, Version: ver, Img: rejected}
+}
+
+// propagate forwards a freshly committed update to every conflicting
+// active view (excluding the writer), restricted to each recipient's
+// property set and trimmed to entries it has not seen.
+func (m *Manager) propagate(writer string, ver vclock.Version) error {
+	for _, other := range m.conflictSet(writer, true) {
+		os, ok := m.viewState(other)
+		if !ok {
+			continue
+		}
+		props, _ := m.reg.Props(other)
+		m.mu.Lock()
+		since := os.seen
+		m.mu.Unlock()
+		img, err := m.store.Extract(props, since)
+		if err != nil {
+			return err
+		}
+		if img.Len() == 0 {
+			continue
+		}
+		reply, err := m.ep.Call(other, &wire.Message{Type: wire.TUpdate, View: other, Img: img, Version: ver})
+		if err != nil {
+			return fmt.Errorf("update %s: %w", other, err)
+		}
+		_ = reply
+		m.mu.Lock()
+		if ver > os.seen {
+			os.seen = ver
+		}
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+func (m *Manager) handleSetMode(req *wire.Message) *wire.Message {
+	vs, ok := m.viewState(req.From)
+	if !ok {
+		return errf("set-mode from unregistered view %s", req.From)
+	}
+	m.mu.Lock()
+	vs.mode = req.Mode
+	m.mu.Unlock()
+	return &wire.Message{Type: wire.TAck}
+}
+
+func (m *Manager) handleSetProps(req *wire.Message) *wire.Message {
+	if err := m.reg.SetProps(req.From, req.Props); err != nil {
+		return errf("%v", err)
+	}
+	return &wire.Message{Type: wire.TAck}
+}
+
+// CompactLog drops update-log records that every registered view has
+// already observed (version ≤ min(seen)). It returns the number of
+// records dropped. Deployments with long-lived views call this
+// periodically to bound the quality-accounting log; records still needed
+// by any view are never dropped, so UnseenCommitted stays exact.
+func (m *Manager) CompactLog() int {
+	m.mu.Lock()
+	min := vclock.Version(0)
+	first := true
+	for _, vs := range m.views {
+		if first || vs.seen < min {
+			min = vs.seen
+			first = false
+		}
+	}
+	m.mu.Unlock()
+	if first {
+		// No views: everything is droppable.
+		min = m.store.Current()
+	}
+	return m.store.CompactLog(min)
+}
+
+// Mode reports a view's current mode (Weak for unknown views).
+func (m *Manager) Mode(view string) wire.Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if vs, ok := m.views[view]; ok {
+		return vs.mode
+	}
+	return wire.Weak
+}
+
+// ActiveViews returns the names of currently active views.
+func (m *Manager) ActiveViews() []string {
+	var out []string
+	for _, v := range m.reg.Views() {
+		if m.reg.Active(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SeedStatic installs a static conflict-map entry (1/0/-1) before or after
+// views register.
+func (m *Manager) SeedStatic(a, b string, rel registry.Relation) {
+	m.reg.SetStatic(a, b, rel)
+}
+
+// CommitLocal lets the original component itself commit an update (e.g. an
+// administrative change to the primary data). It is also used by tests.
+func (m *Manager) CommitLocal(delta *image.Image, ops int) (vclock.Version, error) {
+	v, _, _, err := m.store.Commit("", delta, ops)
+	return v, err
+}
+
+// ExtractPrimary snapshots the primary for the given properties (tests and
+// tools).
+func (m *Manager) ExtractPrimary(props property.Set) (*image.Image, error) {
+	return m.store.Extract(props, 0)
+}

@@ -1,0 +1,150 @@
+package directory_test
+
+import (
+	"testing"
+
+	"flecc/internal/cache"
+	"flecc/internal/directory"
+	"flecc/internal/image"
+	"flecc/internal/property"
+	"flecc/internal/transport"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+func newDM(t *testing.T) (*directory.Manager, *transport.Inproc, *vclock.Sim, *kv) {
+	t.Helper()
+	net := transport.NewInproc()
+	clock := vclock.NewSim()
+	prim := newKV()
+	dm, err := directory.New("dm", prim, clock, net, directory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dm, net, clock, prim
+}
+
+func newCM(t *testing.T, net transport.Network, clock vclock.Clock, name string) (*cache.Manager, *kv) {
+	t.Helper()
+	view := newKV()
+	cm, err := cache.New(cache.Config{
+		Name: name, Directory: "dm", Net: net, View: view,
+		Props: property.MustSet("P={x}"), Mode: wire.Weak, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.InitImage(); err != nil {
+		t.Fatal(err)
+	}
+	return cm, view
+}
+
+func TestCompactLogRespectsSlowestView(t *testing.T) {
+	dm, net, clock, _ := newDM(t)
+	cm1, v1 := newCM(t, net, clock, "v1")
+	cm2, _ := newCM(t, net, clock, "v2")
+
+	// Five committed updates by v1.
+	for i := 0; i < 5; i++ {
+		cm1.StartUse()
+		v1.data["k"] = string(rune('a' + i))
+		cm1.EndUse()
+		if err := cm1.PushImage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// v2 hasn't pulled: its seen is the init version (0), so nothing can
+	// be compacted away.
+	if dropped := dm.CompactLog(); dropped != 0 {
+		t.Fatalf("dropped %d, want 0 (v2 still needs the log)", dropped)
+	}
+	if got := dm.UnseenCommitted("v2"); got != 5 {
+		t.Fatalf("unseen = %d", got)
+	}
+	// After every view has pulled (v1's own pushes do not advance its
+	// seen — see cache.PushImage), the whole log is observed and
+	// compactable.
+	if err := cm2.PullImage(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm1.PullImage(); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := dm.CompactLog(); dropped != 5 {
+		t.Fatalf("dropped %d, want 5", dropped)
+	}
+	// Quality accounting still exact.
+	if got := dm.UnseenCommitted("v2"); got != 0 {
+		t.Fatalf("unseen after compaction = %d", got)
+	}
+}
+
+func TestCompactLogNoViews(t *testing.T) {
+	dm, _, _, _ := newDM(t)
+	d := image.New(property.MustSet("P={x}"))
+	d.Put(image.Entry{Key: "k", Value: []byte("v")})
+	if _, err := dm.CommitLocal(d, 1); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := dm.CompactLog(); dropped != 1 {
+		t.Fatalf("dropped %d, want 1 (no views registered)", dropped)
+	}
+}
+
+func TestSeenAccessor(t *testing.T) {
+	dm, net, clock, _ := newDM(t)
+	cm, _ := newCM(t, net, clock, "v1")
+	if dm.Seen("ghost") != 0 {
+		t.Fatal("unknown view should report 0")
+	}
+	d := image.New(property.MustSet("P={x}"))
+	d.Put(image.Entry{Key: "k", Value: []byte("v")})
+	if _, err := dm.CommitLocal(d, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.PullImage(); err != nil {
+		t.Fatal(err)
+	}
+	if dm.Seen("v1") != dm.CurrentVersion() {
+		t.Fatalf("seen = %d, current = %d", dm.Seen("v1"), dm.CurrentVersion())
+	}
+}
+
+func TestUnexpectedMessageRejected(t *testing.T) {
+	_, net, _, _ := newDM(t)
+	ep, err := net.Attach("stranger", func(req *wire.Message) *wire.Message { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TImage is a reply type; a DM must reject it as a request.
+	if _, err := ep.Call("dm", &wire.Message{Type: wire.TImage}); err == nil {
+		t.Fatal("reply-typed request should be rejected")
+	}
+	if _, err := ep.Call("dm", &wire.Message{Type: wire.TAcquire}); err == nil {
+		t.Fatal("token message without a token handler should be rejected")
+	}
+}
+
+func TestRegisterWithExplicitViewName(t *testing.T) {
+	dm, net, _, _ := newDM(t)
+	ep, err := net.Attach("node-7", func(req *wire.Message) *wire.Message { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The View field overrides From for registry purposes.
+	if _, err := ep.Call("dm", &wire.Message{Type: wire.TRegister, View: "logical-view"}); err != nil {
+		t.Fatal(err)
+	}
+	views := dm.Views()
+	if len(views) != 1 || views[0] != "logical-view" {
+		t.Fatalf("views = %v", views)
+	}
+}
+
+func TestUnseenCommittedUnknownView(t *testing.T) {
+	dm, _, _, _ := newDM(t)
+	if dm.UnseenCommitted("nope") != 0 {
+		t.Fatal("unknown view should report 0")
+	}
+}

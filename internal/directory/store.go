@@ -1,0 +1,282 @@
+// Package directory implements Flecc's directory manager (paper §4.2): the
+// runtime component attached to the original component. It keeps track of
+// which views are running, controls which views are allowed to be active,
+// commits pushed updates into the primary copy, and uses the
+// application-supplied information — data properties, validity triggers,
+// extract/merge methods — to synchronize only the interested parties.
+package directory
+
+import (
+	"fmt"
+	"sync"
+
+	"flecc/internal/image"
+	"flecc/internal/property"
+	"flecc/internal/vclock"
+)
+
+// UpdateRec is one committed update in the primary's log. The log is what
+// lets Flecc answer the paper's quality question: "how many remote updates
+// has this view not seen?"
+type UpdateRec struct {
+	// Version is the primary version assigned to the commit.
+	Version vclock.Version
+	// Writer is the view whose changes were committed ("" for updates
+	// originating at the primary itself).
+	Writer string
+	// Props describes which shared data the update touched.
+	Props property.Set
+	// Ops is the number of logical operations (view use-windows) folded
+	// into the commit.
+	Ops int
+	// At is the virtual time of the commit.
+	At vclock.Time
+}
+
+type shadowEntry struct {
+	version vclock.Version
+	writer  string
+	deleted bool
+}
+
+// Store wraps the original component's extract/merge codec with the
+// protocol metadata Flecc maintains around it: a monotonic version
+// counter, a per-key shadow of (version, writer) used for conflict
+// detection, and the update log used for quality accounting. Store is the
+// application-neutral half of the directory manager: it never interprets
+// entry payloads.
+type Store struct {
+	mu      sync.Mutex
+	primary image.Codec
+	clock   vclock.Clock
+	counter vclock.Counter
+	shadow  map[string]shadowEntry
+	log     []UpdateRec
+	// resolver adjudicates concurrent-update conflicts; nil means
+	// last-writer-wins in commit order (the incoming update wins, since it
+	// is the latest).
+	resolver image.Resolver
+	// conflictsSeen counts conflicts detected across all commits.
+	conflictsSeen int
+}
+
+// NewStore builds a store around the original component's codec.
+func NewStore(primary image.Codec, clock vclock.Clock) *Store {
+	return &Store{
+		primary: primary,
+		clock:   clock,
+		shadow:  map[string]shadowEntry{},
+	}
+}
+
+// SetResolver installs the application's conflict resolver (nil restores
+// incoming-wins).
+func (s *Store) SetResolver(r image.Resolver) {
+	s.mu.Lock()
+	s.resolver = r
+	s.mu.Unlock()
+}
+
+// Current returns the latest committed primary version.
+func (s *Store) Current() vclock.Version { return s.counter.Current() }
+
+// ConflictsSeen returns the number of concurrent-update conflicts detected
+// so far.
+func (s *Store) ConflictsSeen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conflictsSeen
+}
+
+// Commit folds a view's delta into the primary copy. Each delta entry's
+// Version field carries the version of the data the view based its change
+// on; when the shadow shows a newer committed version by a different
+// writer, the entries conflict and the resolver (or incoming-wins) decides.
+// Commit assigns one new primary version to the whole delta, merges the
+// winning entries into the original component, updates the shadow, and
+// appends an update record with the given op count.
+//
+// The returned rejected image (nil when empty) contains, for every key
+// where the resolver kept the primary's value, that winning entry — the
+// caller sends it back to the pusher so the losing view converges instead
+// of silently keeping its rejected value.
+//
+// An empty delta commits nothing and returns the current version.
+func (s *Store) Commit(writer string, delta *image.Image, ops int) (vclock.Version, int, *image.Image, error) {
+	if delta == nil || delta.Len() == 0 {
+		return s.counter.Current(), 0, nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Detect conflicting keys via the shadow.
+	var conflictKeys []string
+	for _, k := range delta.Keys() {
+		e := delta.Entries[k]
+		if sh, ok := s.shadow[k]; ok && sh.version > e.Version && sh.writer != writer {
+			conflictKeys = append(conflictKeys, k)
+		}
+	}
+
+	apply := image.New(delta.Props.Clone())
+	rejected := image.New(delta.Props.Clone())
+	newVer := s.counter.Next()
+
+	var current *image.Image
+	if len(conflictKeys) > 0 {
+		// We need the primary's current values to give the resolver both
+		// sides.
+		var err error
+		current, err = s.primary.Extract(delta.Props)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("directory: extract for conflict resolution: %w", err)
+		}
+	}
+	conflicts := 0
+	isConflict := map[string]bool{}
+	for _, k := range conflictKeys {
+		isConflict[k] = true
+	}
+	for _, k := range delta.Keys() {
+		theirs := delta.Entries[k].Clone()
+		if isConflict[k] {
+			conflicts++
+			winner := theirs
+			if s.resolver != nil {
+				var ours image.Entry
+				if current != nil {
+					if ce, ok := current.Get(k); ok {
+						ours = ce
+						ours.Version = s.shadow[k].version
+						ours.Writer = s.shadow[k].writer
+					}
+				}
+				w, err := s.resolver(image.Conflict{Key: k, Ours: ours, Theirs: theirs})
+				if err != nil {
+					return 0, 0, nil, fmt.Errorf("directory: resolve %q: %w", k, err)
+				}
+				winner = w
+				if winner.Equal(ours) {
+					// The primary's value survives: keep the shadow as-is,
+					// skip the merge for this key, and report the winning
+					// value back to the pusher so it converges.
+					rejected.Put(ours)
+					continue
+				}
+			}
+			theirs = winner
+		}
+		theirs.Version = newVer
+		theirs.Writer = writer
+		apply.Put(theirs)
+		s.shadow[k] = shadowEntry{version: newVer, writer: writer, deleted: theirs.Deleted}
+	}
+	s.conflictsSeen += conflicts
+
+	apply.Version = newVer
+	if apply.Len() > 0 {
+		if err := s.primary.Merge(apply, delta.Props); err != nil {
+			return 0, 0, nil, fmt.Errorf("directory: merge into primary: %w", err)
+		}
+	}
+	s.log = append(s.log, UpdateRec{
+		Version: newVer,
+		Writer:  writer,
+		Props:   delta.Props.Clone(),
+		Ops:     ops,
+		At:      s.clock.Now(),
+	})
+	rejected.Version = newVer
+	if rejected.Len() == 0 {
+		return newVer, conflicts, nil, nil
+	}
+	return newVer, conflicts, rejected, nil
+}
+
+// Extract snapshots the primary copy restricted to props, stamps entries
+// with their shadow metadata, and — when since > 0 — trims the result to
+// entries committed after since (a delta). The image's Version is always
+// the current primary version.
+func (s *Store) Extract(props property.Set, since vclock.Version) (*image.Image, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	img, err := s.primary.Extract(props)
+	if err != nil {
+		return nil, fmt.Errorf("directory: extract from primary: %w", err)
+	}
+	if img == nil {
+		img = image.New(props.Clone())
+	}
+	for k, e := range img.Entries {
+		if sh, ok := s.shadow[k]; ok {
+			e.Version = sh.version
+			e.Writer = sh.writer
+			img.Entries[k] = e
+		}
+	}
+	// Deleted keys are gone from the primary extract, so a puller would
+	// never learn about them; synthesize tombstones from the shadow.
+	// (Merging a tombstone for a key a view never held is a harmless
+	// no-op, so tombstones are not filtered by props.)
+	for k, sh := range s.shadow {
+		if !sh.deleted {
+			continue
+		}
+		if _, present := img.Get(k); present {
+			continue
+		}
+		img.Put(image.Entry{Key: k, Version: sh.version, Writer: sh.writer, Deleted: true})
+	}
+	img.Version = s.counter.Current()
+	if since > 0 {
+		img = img.DeltaSince(since)
+	}
+	return img, nil
+}
+
+// UnseenOps implements the paper's data-quality metric for the committed
+// part of the system state: the total Ops of update records that (i) were
+// committed after the given version, (ii) were written by someone other
+// than viewer, and (iii) touch data overlapping the viewer's props.
+func (s *Store) UnseenOps(since vclock.Version, viewer string, props property.Set) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for i := len(s.log) - 1; i >= 0; i-- {
+		rec := s.log[i]
+		if rec.Version <= since {
+			break // log is version-ordered
+		}
+		if rec.Writer == viewer {
+			continue
+		}
+		if !props.IsEmpty() && !rec.Props.IsEmpty() && !props.Overlaps(rec.Props) {
+			continue
+		}
+		total += rec.Ops
+	}
+	return total
+}
+
+// Log returns a copy of the update log (for tests and tools).
+func (s *Store) Log() []UpdateRec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]UpdateRec, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// CompactLog drops log records at or below the given version; callers use
+// it once every registered view has seen past that point.
+func (s *Store) CompactLog(upTo vclock.Version) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := 0
+	for i < len(s.log) && s.log[i].Version <= upTo {
+		i++
+	}
+	dropped := i
+	s.log = append([]UpdateRec(nil), s.log[i:]...)
+	return dropped
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuyerMixSweep(t *testing.T) {
+	cfg := BuyerMixConfig{
+		Clients:   4,
+		Sessions:  3,
+		Fractions: []float64{0, 0.5, 1},
+		Capacity:  2,
+		Seed:      11,
+	}
+	res, err := RunBuyerMix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if err := res.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+	// The zero-fraction row has no buys; the full-fraction row has
+	// clients*sessions.
+	if res.Rows[0].Buys != 0 || res.Rows[2].Buys != 12 {
+		t.Fatalf("buys: %d / %d", res.Rows[0].Buys, res.Rows[2].Buys)
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "buyer-mix") || !strings.Contains(out, "0.50") {
+		t.Fatalf("table = %q", out)
+	}
+}
+
+func TestBuyerMixDeterministic(t *testing.T) {
+	cfg := BuyerMixConfig{Clients: 3, Sessions: 2, Fractions: []float64{0.5}, Capacity: 2, Seed: 5}
+	a, err := RunBuyerMix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBuyerMix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows[0] != b.Rows[0] {
+		t.Fatalf("non-deterministic: %+v vs %+v", a.Rows[0], b.Rows[0])
+	}
+}
+
+func TestBuyerMixValidation(t *testing.T) {
+	if _, err := RunBuyerMix(BuyerMixConfig{}); err == nil {
+		t.Fatal("zero config should fail")
+	}
+}
+
+func TestBuyerMixDefault(t *testing.T) {
+	res, err := RunBuyerMix(DefaultBuyerMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"flecc/internal/wire"
+)
+
+func TestDeploymentGroups(t *testing.T) {
+	d, err := NewDeployment(DeployConfig{Agents: 6, GroupSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if len(d.Agents) != 6 {
+		t.Fatalf("agents = %d", len(d.Agents))
+	}
+	// Agents 0-2 share flights; 3-5 share a different range.
+	if !d.conflicts(0, 1) || !d.conflicts(1, 2) {
+		t.Fatal("group members should conflict")
+	}
+	if d.conflicts(0, 3) || d.conflicts(2, 5) {
+		t.Fatal("members of different groups should not conflict")
+	}
+	if d.FirstFlightOf(0) == d.FirstFlightOf(3) {
+		t.Fatal("groups should serve disjoint flights")
+	}
+}
+
+func TestDeploymentValidation(t *testing.T) {
+	if _, err := NewDeployment(DeployConfig{Agents: 0, GroupSize: 1}); err == nil {
+		t.Fatal("zero agents should fail")
+	}
+	if _, err := NewDeployment(DeployConfig{Agents: 1, GroupSize: 0}); err == nil {
+		t.Fatal("zero group should fail")
+	}
+	if _, err := NewDeployment(DeployConfig{Agents: 1, GroupSize: 1, Protocol: "bogus"}); err == nil {
+		t.Fatal("bogus protocol should fail")
+	}
+}
+
+func TestFig4SmallSweep(t *testing.T) {
+	// Group sizes start at 6: like the paper's sweep (10..100), the
+	// smallest group must be large enough that Flecc's gather cost
+	// exceeds time-sharing's constant token overhead.
+	cfg := Fig4Config{Agents: 12, Groups: []int{6, 12}, OpsPerAgent: 1}
+	res, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if err := res.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "flecc") {
+		t.Fatalf("table = %q", out)
+	}
+}
+
+func TestFig4Deterministic(t *testing.T) {
+	cfg := Fig4Config{Agents: 8, Groups: []int{4}, OpsPerAgent: 2}
+	a, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows[0] != b.Rows[0] {
+		t.Fatalf("non-deterministic: %+v vs %+v", a.Rows[0], b.Rows[0])
+	}
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	cfg := Fig5Config{Agents: 4, OpsPerPhase: 6, Latency: 5, PushEvery: 3}
+	res, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3*cfg.OpsPerPhase {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if err := res.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+	// Strong-mode execution involves invalidation round trips.
+	sums := res.Summaries()
+	if sums[1].MeanExec < 2*sums[0].MeanExec {
+		t.Fatalf("strong exec (%.1f) should be well above weak (%.1f)", sums[1].MeanExec, sums[0].MeanExec)
+	}
+	out := res.SummaryTable().String()
+	if !strings.Contains(out, "STRONG") {
+		t.Fatalf("summary = %q", out)
+	}
+}
+
+func TestFig5Validation(t *testing.T) {
+	if _, err := RunFig5(Fig5Config{}); err == nil {
+		t.Fatal("zero config should fail")
+	}
+}
+
+func TestFig6ShapeHolds(t *testing.T) {
+	cfg := Fig6Config{
+		Agents: 4, Ops: 12, ExplicitPullEvery: 6,
+		TriggerPeriod: 300, TickEvery: 100, OpSpacing: 100,
+	}
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NoTriggers.Points) != cfg.Ops || len(res.WithTrigger.Points) != cfg.Ops {
+		t.Fatal("both variants should observe every op")
+	}
+	// Quality staircase: without triggers, quality grows between explicit
+	// pulls.
+	pts := res.NoTriggers.Points
+	if !(pts[2].Quality > pts[0].Quality) {
+		t.Fatalf("quality should accumulate: %v", pts[:3])
+	}
+	out := res.SummaryTable().String()
+	if !strings.Contains(out, "no-triggers") || !strings.Contains(out, "with-pull-trigger") {
+		t.Fatalf("summary = %q", out)
+	}
+}
+
+func TestFig6Validation(t *testing.T) {
+	if _, err := RunFig6(Fig6Config{}); err == nil {
+		t.Fatal("zero config should fail")
+	}
+}
+
+func TestQualityMetricCombinesCommittedAndPending(t *testing.T) {
+	d, err := NewDeployment(DeployConfig{Agents: 3, GroupSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	flight := d.FirstFlightOf(0)
+	// Agent 1 works and pushes (committed), agent 2 works and does not
+	// push (pending).
+	a1, a2 := d.Agents[1], d.Agents[2]
+	a1.CM.StartUse()
+	a1.ARS.ConfirmTickets(1, flight)
+	a1.CM.EndUse()
+	if err := a1.CM.PushImage(); err != nil {
+		t.Fatal(err)
+	}
+	a2.CM.StartUse()
+	a2.ARS.ConfirmTickets(1, flight)
+	a2.CM.EndUse()
+
+	if got := d.Quality(0); got != 2 {
+		t.Fatalf("quality = %d, want 2 (1 committed + 1 pending)", got)
+	}
+	// After agent 0 pulls, the committed part clears; the pending part
+	// remains.
+	if err := d.Agents[0].CM.PullImage(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Quality(0); got != 1 {
+		t.Fatalf("quality = %d, want 1", got)
+	}
+}
+
+func TestTimeSharingDeployment(t *testing.T) {
+	d, err := NewDeployment(DeployConfig{Protocol: ProtoTimeSharing, Agents: 2, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.TS == nil {
+		t.Fatal("TS handle should be set")
+	}
+	a := d.Agents[0]
+	if err := a.CM.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReserveTickets(1, d.FirstFlightOf(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CM.PushImage(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CM.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5StrongPhaseSerializes(t *testing.T) {
+	// In the strong phase every sale must survive (one-copy semantics):
+	// total reserved on the shared flight equals total ops.
+	cfg := Fig5Config{Agents: 3, OpsPerPhase: 4, Latency: 1, PushEvery: 2}
+	d, err := NewDeployment(DeployConfig{
+		Protocol: ProtoFlecc, Agents: cfg.Agents, GroupSize: cfg.Agents,
+		Latency: cfg.Latency, Mode: wire.Strong,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	flight := d.FirstFlightOf(0)
+	for op := 0; op < cfg.OpsPerPhase; op++ {
+		for _, a := range d.Agents {
+			if err := a.ReserveTickets(1, flight); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, a := range d.Agents {
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Agents = nil
+	f, _ := d.DB.Flight(flight)
+	want := cfg.OpsPerPhase * cfg.Agents
+	if f.Reserved != want {
+		t.Fatalf("reserved = %d, want %d (no lost updates in strong mode)", f.Reserved, want)
+	}
+}

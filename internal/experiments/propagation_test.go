@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPropagationSweep(t *testing.T) {
+	cfg := PropagationConfig{
+		Readers:        4,
+		ReadsPerReader: 8,
+		WriteSweep:     []int{1, 8, 24},
+	}
+	res, err := RunPropagation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if err := res.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "pull-msgs") || !strings.Contains(out, "push-msgs") {
+		t.Fatalf("table = %q", out)
+	}
+}
+
+func TestPropagationDefault(t *testing.T) {
+	res, err := RunPropagation(DefaultPropagation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagationValidation(t *testing.T) {
+	if _, err := RunPropagation(PropagationConfig{}); err == nil {
+		t.Fatal("zero config should fail")
+	}
+}
+
+func TestPropagationDeterministic(t *testing.T) {
+	cfg := PropagationConfig{Readers: 3, ReadsPerReader: 4, WriteSweep: []int{2}}
+	a, _ := RunPropagation(cfg)
+	b, _ := RunPropagation(cfg)
+	if a.Rows[0] != b.Rows[0] {
+		t.Fatalf("non-deterministic: %+v vs %+v", a.Rows[0], b.Rows[0])
+	}
+}

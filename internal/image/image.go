@@ -1,0 +1,195 @@
+// Package image defines ObjectImage, the unit of state Flecc moves between
+// views and the original component (paper §4.1, "Merge/Extract methods").
+//
+// Flecc propagates *modified data* rather than operation logs, because
+// views are different layouts of the same component and may not implement
+// each other's methods. An Image is a property-scoped snapshot: a bag of
+// keyed, versioned, opaque entries plus the property set describing which
+// shared data the snapshot covers. The application supplies the
+// extract/merge callbacks (Extractor/Merger interfaces); Flecc never
+// interprets entry payloads — it only routes, versions, and (optionally)
+// helps resolve conflicts via the three-way merge helpers here, in the
+// style of Coda and Bayou.
+package image
+
+import (
+	"fmt"
+	"sort"
+
+	"flecc/internal/property"
+	"flecc/internal/vclock"
+)
+
+// Entry is one keyed datum inside an image. The payload is opaque to
+// Flecc. Version is the primary-copy version at which this value was
+// committed; Writer identifies the view whose update produced the value
+// (empty for values that originate at the primary).
+type Entry struct {
+	Key     string
+	Value   []byte
+	Version vclock.Version
+	Writer  string
+	Deleted bool
+}
+
+// Clone returns a deep copy of the entry.
+func (e Entry) Clone() Entry {
+	if e.Value != nil {
+		v := make([]byte, len(e.Value))
+		copy(v, e.Value)
+		e.Value = v
+	}
+	return e
+}
+
+// Equal reports whether two entries carry the same payload and tombstone
+// state (version/writer metadata is ignored — it describes provenance, not
+// content).
+func (e Entry) Equal(o Entry) bool {
+	if e.Key != o.Key || e.Deleted != o.Deleted || len(e.Value) != len(o.Value) {
+		return false
+	}
+	for i := range e.Value {
+		if e.Value[i] != o.Value[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Image is a property-scoped snapshot of shared state.
+type Image struct {
+	// Props describes which shared data the image covers; the directory
+	// manager uses it to route updates to interested views only.
+	Props property.Set
+	// Version is the primary-copy version at extraction/commit time. A
+	// view that holds an image with Version v has seen every primary
+	// update numbered ≤ v.
+	Version vclock.Version
+	// Entries is the snapshot content, keyed by entry key.
+	Entries map[string]Entry
+}
+
+// New returns an empty image covering the given properties.
+func New(props property.Set) *Image {
+	return &Image{Props: props, Entries: map[string]Entry{}}
+}
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	c := &Image{Props: im.Props.Clone(), Version: im.Version, Entries: make(map[string]Entry, len(im.Entries))}
+	for k, e := range im.Entries {
+		c.Entries[k] = e.Clone()
+	}
+	return c
+}
+
+// Put inserts or replaces an entry.
+func (im *Image) Put(e Entry) {
+	if im.Entries == nil {
+		im.Entries = map[string]Entry{}
+	}
+	im.Entries[e.Key] = e
+}
+
+// Get returns the entry for key and whether it exists.
+func (im *Image) Get(key string) (Entry, bool) {
+	e, ok := im.Entries[key]
+	return e, ok
+}
+
+// Delete records a tombstone for key at the given version.
+func (im *Image) Delete(key string, v vclock.Version, writer string) {
+	im.Put(Entry{Key: key, Version: v, Writer: writer, Deleted: true})
+}
+
+// Len returns the number of entries (including tombstones).
+func (im *Image) Len() int { return len(im.Entries) }
+
+// Keys returns the sorted entry keys.
+func (im *Image) Keys() []string {
+	keys := make([]string, 0, len(im.Entries))
+	for k := range im.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Restrict returns a copy of the image containing only the entries whose
+// key passes the filter. It is used to trim an extracted image to the
+// intersection of two views' property sets.
+func (im *Image) Restrict(keep func(key string) bool) *Image {
+	out := New(im.Props.Clone())
+	out.Version = im.Version
+	for k, e := range im.Entries {
+		if keep(k) {
+			out.Entries[k] = e.Clone()
+		}
+	}
+	return out
+}
+
+// Equal reports whether two images have equal content (entries compared by
+// Entry.Equal; versions and props ignored).
+func (im *Image) Equal(o *Image) bool {
+	if len(im.Entries) != len(o.Entries) {
+		return false
+	}
+	for k, e := range im.Entries {
+		oe, ok := o.Entries[k]
+		if !ok || !e.Equal(oe) {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the image for logs.
+func (im *Image) String() string {
+	return fmt.Sprintf("image{v%d, %d entries, props: %s}", im.Version, len(im.Entries), im.Props)
+}
+
+// Extractor produces an image of a replica's current state, restricted to
+// the given property set. Views implement extractFromView; the original
+// component implements extractFromObject — both have this shape (paper
+// Figure 3).
+type Extractor interface {
+	Extract(props property.Set) (*Image, error)
+}
+
+// Merger folds an image into a replica's state. Views implement
+// mergeIntoView; the original component implements mergeIntoObject.
+type Merger interface {
+	Merge(img *Image, props property.Set) error
+}
+
+// Codec combines both directions; most application components implement
+// the full Codec.
+type Codec interface {
+	Extractor
+	Merger
+}
+
+// FuncCodec adapts two closures to a Codec, handy for tests and for small
+// components that keep their state in plain maps.
+type FuncCodec struct {
+	ExtractFn func(props property.Set) (*Image, error)
+	MergeFn   func(img *Image, props property.Set) error
+}
+
+// Extract implements Extractor.
+func (f FuncCodec) Extract(props property.Set) (*Image, error) {
+	if f.ExtractFn == nil {
+		return nil, fmt.Errorf("image: FuncCodec has no ExtractFn")
+	}
+	return f.ExtractFn(props)
+}
+
+// Merge implements Merger.
+func (f FuncCodec) Merge(img *Image, props property.Set) error {
+	if f.MergeFn == nil {
+		return fmt.Errorf("image: FuncCodec has no MergeFn")
+	}
+	return f.MergeFn(img, props)
+}

@@ -1,0 +1,128 @@
+package property
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDomain parses the textual domain syntax:
+//
+//	[lo,hi]      closed numeric interval
+//	{a,b,c}      discrete set (members are trimmed, may be quoted)
+//	{}           empty domain
+//	{lo..hi}     integer range sugar, expands to a discrete set
+//
+// Whitespace around tokens is ignored.
+func ParseDomain(s string) (Domain, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "{}" || s == "":
+		return Empty(), nil
+	case strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]"):
+		body := s[1 : len(s)-1]
+		parts := strings.Split(body, ",")
+		if len(parts) != 2 {
+			return Domain{}, fmt.Errorf("property: interval %q must have exactly two bounds", s)
+		}
+		lo, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return Domain{}, fmt.Errorf("property: bad interval lower bound in %q: %w", s, err)
+		}
+		hi, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return Domain{}, fmt.Errorf("property: bad interval upper bound in %q: %w", s, err)
+		}
+		if lo > hi {
+			return Domain{}, fmt.Errorf("property: interval %q has lo > hi", s)
+		}
+		return Interval(lo, hi), nil
+	case strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}"):
+		body := strings.TrimSpace(s[1 : len(s)-1])
+		if body == "" {
+			return Empty(), nil
+		}
+		// Integer range sugar {lo..hi}.
+		if lo, hi, ok := splitRange(body); ok {
+			if lo > hi {
+				return Domain{}, fmt.Errorf("property: range %q has lo > hi", s)
+			}
+			return DiscreteRange(lo, hi), nil
+		}
+		raw := strings.Split(body, ",")
+		members := make([]string, 0, len(raw))
+		for _, r := range raw {
+			m := strings.TrimSpace(r)
+			m = strings.Trim(m, `"'`)
+			if m == "" {
+				return Domain{}, fmt.Errorf("property: empty member in %q", s)
+			}
+			members = append(members, m)
+		}
+		return Discrete(members...), nil
+	default:
+		return Domain{}, fmt.Errorf("property: cannot parse domain %q (want [lo,hi] or {a,b,c})", s)
+	}
+}
+
+func splitRange(body string) (lo, hi int, ok bool) {
+	i := strings.Index(body, "..")
+	if i < 0 || strings.Contains(body, ",") {
+		return 0, 0, false
+	}
+	lo, err1 := strconv.Atoi(strings.TrimSpace(body[:i]))
+	hi, err2 := strconv.Atoi(strings.TrimSpace(body[i+2:]))
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// ParseProperty parses "name=domain", e.g. `Flights={100..109}`.
+func ParseProperty(s string) (Property, error) {
+	i := strings.Index(s, "=")
+	if i <= 0 {
+		return Property{}, fmt.Errorf("property: %q is not of the form name=domain", s)
+	}
+	name := strings.TrimSpace(s[:i])
+	if name == "" {
+		return Property{}, fmt.Errorf("property: empty name in %q", s)
+	}
+	d, err := ParseDomain(s[i+1:])
+	if err != nil {
+		return Property{}, err
+	}
+	return Property{Name: name, Domain: d}, nil
+}
+
+// ParseSet parses a semicolon-separated list of properties, e.g.
+// `Flights={100..109}; Seats=[0,400]`. An empty string yields an empty set.
+func ParseSet(s string) (Set, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return NewSet(), nil
+	}
+	parts := strings.Split(s, ";")
+	props := make([]Property, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := ParseProperty(part)
+		if err != nil {
+			return Set{}, err
+		}
+		props = append(props, p)
+	}
+	return NewSet(props...), nil
+}
+
+// MustSet is a test/example helper that panics on parse failure.
+func MustSet(s string) Set {
+	set, err := ParseSet(s)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}

@@ -1,0 +1,104 @@
+package property
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDomainInterval(t *testing.T) {
+	d, err := ParseDomain("[1, 5]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(Interval(1, 5)) {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestParseDomainDiscrete(t *testing.T) {
+	d, err := ParseDomain(`{ "a", b , c}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(Discrete("a", "b", "c")) {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestParseDomainRangeSugar(t *testing.T) {
+	d, err := ParseDomain("{3..5}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(DiscreteInts(3, 4, 5)) {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestParseDomainEmpty(t *testing.T) {
+	for _, s := range []string{"{}", "", "  "} {
+		d, err := ParseDomain(s)
+		if err != nil || !d.IsEmpty() {
+			t.Fatalf("ParseDomain(%q) = %v, %v", s, d, err)
+		}
+	}
+}
+
+func TestParseDomainErrors(t *testing.T) {
+	bad := []string{
+		"[1]", "[1,2,3]", "[a,b]", "[1,b]", "[5,1]",
+		"{5..1}", "{a,,b}", "(1,2)", "junk",
+	}
+	for _, s := range bad {
+		if _, err := ParseDomain(s); err == nil {
+			t.Errorf("ParseDomain(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseProperty(t *testing.T) {
+	p, err := ParseProperty(" Flights = {100..102} ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "Flights" || !p.Domain.Equal(DiscreteInts(100, 101, 102)) {
+		t.Fatalf("got %v", p)
+	}
+	for _, s := range []string{"noequals", "=dom", " =x"} {
+		if _, err := ParseProperty(s); err == nil {
+			t.Errorf("ParseProperty(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseSetMulti(t *testing.T) {
+	s, err := ParseSet("Flights={1,2}; Seats=[0,10];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+}
+
+func TestParseSetError(t *testing.T) {
+	if _, err := ParseSet("Flights={1,2}; bogus"); err == nil {
+		t.Fatal("want error for bogus clause")
+	}
+}
+
+func TestMustSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSet should panic on bad input")
+		}
+	}()
+	MustSet("!!!")
+}
+
+func TestParseErrorMessagesMentionInput(t *testing.T) {
+	_, err := ParseDomain("[x,2]")
+	if err == nil || !strings.Contains(err.Error(), "[x,2]") {
+		t.Fatalf("error should mention offending input, got %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package psf
+
+import (
+	"fmt"
+	"io"
+
+	"flecc/internal/netsim"
+	"flecc/internal/vclock"
+)
+
+// BuildTopology converts the spec's environment into a simulated network
+// topology: one host per node, one link per declared link (default link
+// latency is high and insecure so that undeclared pairs are effectively
+// unusable, matching a sparse WAN).
+func BuildTopology(spec *Spec) *netsim.Topology {
+	topo := netsim.NewTopology(netsim.Link{Latency: vclock.Duration(1000), Secure: false})
+	for name := range spec.Nodes {
+		topo.AddHost(name)
+	}
+	for _, l := range spec.Links {
+		topo.SetLink(l.A, l.B, netsim.Link{Latency: vclock.Duration(l.Latency), Secure: l.Secure})
+	}
+	return topo
+}
+
+// Instance is one deployed component instance.
+type Instance struct {
+	// Action is the plan step that produced the instance.
+	Action Action
+	// Handle is whatever the factory returned (a travel agent, an
+	// encryptor, ...); Deployment closes it on teardown.
+	Handle io.Closer
+}
+
+// Factory instantiates one planned component on its node. The deployment
+// module calls it for every deploy-view and insert-encryptor action; the
+// factory typically creates a Flecc view (cache manager + replica) and
+// returns it.
+type Factory func(a Action) (io.Closer, error)
+
+// Deployment is the result of executing a plan: the running instances and
+// their placement, ready to be torn down.
+type Deployment struct {
+	Spec      *Spec
+	Plan      *Plan
+	Topo      *netsim.Topology
+	Instances []Instance
+}
+
+// Deploy executes a plan (paper §3.1 element (iv)): it enforces node
+// capacities, places each instance's node name onto the simulated
+// topology, and instantiates components through the factory. On any
+// failure the partial deployment is torn down.
+func Deploy(spec *Spec, plan *Plan, topo *netsim.Topology, factory Factory) (*Deployment, error) {
+	d := &Deployment{Spec: spec, Plan: plan, Topo: topo}
+	used := map[string]int{}
+	for comp, node := range spec.Placements {
+		used[node]++
+		topo.Place(comp, node)
+	}
+	for _, a := range plan.Actions {
+		if a.Kind == "use-remote" || a.Kind == "connect" {
+			continue // no instance to create: existing placement / linkage
+		}
+		if n, ok := spec.Nodes[a.Node]; ok && n.Capacity > 0 && used[a.Node] >= n.Capacity {
+			d.Close()
+			return nil, fmt.Errorf("psf: node %s capacity %d exhausted deploying %s", a.Node, n.Capacity, a.Instance)
+		}
+		handle, err := factory(a)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("psf: deploying %s: %w", a.Instance, err)
+		}
+		used[a.Node]++
+		topo.Place(a.Instance, a.Node)
+		d.Instances = append(d.Instances, Instance{Action: a, Handle: handle})
+	}
+	return d, nil
+}
+
+// Close tears the deployment down in reverse instantiation order.
+func (d *Deployment) Close() error {
+	var first error
+	for i := len(d.Instances) - 1; i >= 0; i-- {
+		if h := d.Instances[i].Handle; h != nil {
+			if err := h.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	d.Instances = nil
+	return first
+}
+
+// InstancesOn returns the instance names deployed on a node.
+func (d *Deployment) InstancesOn(node string) []string {
+	var out []string
+	for _, in := range d.Instances {
+		if in.Action.Node == node {
+			out = append(out, in.Action.Instance)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package psf_test
+
+import (
+	"io"
+	"testing"
+
+	"flecc/internal/airline"
+	"flecc/internal/directory"
+	"flecc/internal/netsim"
+	"flecc/internal/psf"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+// TestPSFDeploysCoherentAgents is the full pipeline: declarative spec →
+// plan → deployment of real Flecc-coherent travel agents on the planned
+// topology → QoS-visible behaviour (the buyer's strong view is local and
+// fast; coherence flows back to the hub database).
+func TestPSFDeploysCoherentAgents(t *testing.T) {
+	const specText = `
+component flightdb implements FlightDB(Flights={100..109}) methods browse,reserve
+component agent implements Reservation(Flights={100..109}) requires FlightDB methods browse,reserve replicable
+node hub secure
+node edge1
+node edge2
+link hub edge1 latency=40
+link hub edge2 latency=8 secure
+place flightdb hub
+place agent hub
+client alice at edge1 requires Reservation maxlatency=10 buying
+client bob at edge2 requires Reservation maxlatency=20
+`
+	spec, err := psf.ParseSpec(specText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := psf.PlanDeployment(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := psf.CheckPlan(spec, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	clock := vclock.NewSim()
+	topo := psf.BuildTopology(spec)
+	net := netsim.New(clock, topo)
+	db := airline.NewReservationSystem()
+	airline.SeedFlights(db, 100, 10, 50)
+	topo.Place("flightdb", "hub")
+	dm, err := directory.New("flightdb", db, clock, net, directory.Options{
+		Resolver: airline.SeatResolver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dm.Close()
+
+	agents := map[string]*airline.TravelAgent{}
+	factory := func(a psf.Action) (io.Closer, error) {
+		if a.Kind == "insert-encryptor" {
+			return nopClose{}, nil
+		}
+		mode := wire.Weak
+		if a.Strong {
+			mode = wire.Strong
+		}
+		topo.Place(a.Instance, a.Node)
+		ag, err := airline.NewTravelAgent(airline.AgentConfig{
+			Name: a.Instance, Directory: "flightdb", Net: net, Clock: clock,
+			FlightsFrom: 100, FlightsTo: 109, Mode: mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		agents[a.Client] = ag
+		return closeFn(func() error { return ag.Close() }), nil
+	}
+	dep, err := psf.Deploy(spec, plan, topo, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	alice, ok := agents["alice"]
+	if !ok {
+		t.Fatal("alice should have a deployed view")
+	}
+	if alice.CM.Mode() != wire.Strong {
+		t.Fatal("buying client's agent must be strong")
+	}
+	// Alice's view runs on her own node, so her *service access* is
+	// local; only the coherence pull crosses the 40ms WAN link to the hub
+	// — exactly one round trip (80ms), not one per method of a remote
+	// interaction.
+	t0 := clock.Now()
+	if err := alice.ReserveTickets(2, 100); err != nil {
+		t.Fatal(err)
+	}
+	cost := clock.Now() - t0
+	if cost != 80 {
+		t.Fatalf("reservation coherence cost %v, want exactly one hub round trip (80ms)", cost)
+	}
+	// Between pulls, reads against the local replica are free.
+	t1 := clock.Now()
+	alice.ARS.Browse("", "")
+	if clock.Now() != t1 {
+		t.Fatal("local replica reads must cost no network time")
+	}
+	if err := alice.CM.PushImage(); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := db.Flight(100)
+	if f.Reserved != 2 {
+		t.Fatalf("db reserved = %d", f.Reserved)
+	}
+	// Bob is served remotely (no deployed view).
+	if _, ok := agents["bob"]; ok {
+		t.Fatal("bob (within budget) should not get a deployed view")
+	}
+}
+
+type nopClose struct{}
+
+func (nopClose) Close() error { return nil }
+
+type closeFn func() error
+
+func (f closeFn) Close() error { return f() }

@@ -1,0 +1,94 @@
+package psf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format renders a Spec back into the ParseSpec syntax, deterministically
+// (components, nodes and placements sorted by name; links and clients in
+// declaration order). ParseSpec(Format(s)) reproduces s — the round trip
+// is property-tested — so tools can normalize, diff, and persist specs.
+func Format(s *Spec) string {
+	var b strings.Builder
+
+	compNames := make([]string, 0, len(s.Components))
+	for n := range s.Components {
+		compNames = append(compNames, n)
+	}
+	sort.Strings(compNames)
+	for _, n := range compNames {
+		c := s.Components[n]
+		fmt.Fprintf(&b, "component %s implements %s", c.Name, formatIface(c.Implements[0]))
+		if len(c.Requires) > 0 {
+			fmt.Fprintf(&b, " requires %s", strings.Join(c.Requires, ","))
+		}
+		if len(c.Methods) > 0 {
+			fmt.Fprintf(&b, " methods %s", strings.Join(c.Methods, ","))
+		}
+		if c.Replicable {
+			b.WriteString(" replicable")
+		}
+		b.WriteByte('\n')
+	}
+
+	nodeNames := make([]string, 0, len(s.Nodes))
+	for n := range s.Nodes {
+		nodeNames = append(nodeNames, n)
+	}
+	sort.Strings(nodeNames)
+	for _, n := range nodeNames {
+		node := s.Nodes[n]
+		fmt.Fprintf(&b, "node %s", node.Name)
+		if node.Secure {
+			b.WriteString(" secure")
+		}
+		if node.Capacity > 0 {
+			fmt.Fprintf(&b, " capacity=%d", node.Capacity)
+		}
+		b.WriteByte('\n')
+	}
+
+	for _, l := range s.Links {
+		fmt.Fprintf(&b, "link %s %s latency=%d", l.A, l.B, l.Latency)
+		if l.Secure {
+			b.WriteString(" secure")
+		}
+		b.WriteByte('\n')
+	}
+
+	placeNames := make([]string, 0, len(s.Placements))
+	for c := range s.Placements {
+		placeNames = append(placeNames, c)
+	}
+	sort.Strings(placeNames)
+	for _, c := range placeNames {
+		fmt.Fprintf(&b, "place %s %s\n", c, s.Placements[c])
+	}
+
+	for _, cl := range s.Clients {
+		fmt.Fprintf(&b, "client %s at %s requires %s", cl.Name, cl.Node, cl.Requires)
+		if cl.QoS.MaxLatency > 0 {
+			fmt.Fprintf(&b, " maxlatency=%d", cl.QoS.MaxLatency)
+		}
+		if cl.QoS.Privacy {
+			b.WriteString(" privacy")
+		}
+		if cl.QoS.Buying {
+			b.WriteString(" buying")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatIface renders "Name" or "Name(props)" with no spaces (the parser
+// splits on whitespace).
+func formatIface(i Interface) string {
+	if i.Props.IsEmpty() {
+		return i.Name
+	}
+	props := strings.ReplaceAll(i.Props.String(), " ", "")
+	return i.Name + "(" + props + ")"
+}

@@ -1,0 +1,144 @@
+package psf
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"flecc/internal/property"
+)
+
+func TestFormatRoundTripAirline(t *testing.T) {
+	s := mustSpec(t)
+	back, err := ParseSpec(Format(s))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, Format(s))
+	}
+	assertSpecsEqual(t, s, back)
+}
+
+func assertSpecsEqual(t *testing.T, a, b *Spec) {
+	t.Helper()
+	if len(a.Components) != len(b.Components) {
+		t.Fatalf("components: %d vs %d", len(a.Components), len(b.Components))
+	}
+	for n, ca := range a.Components {
+		cb, ok := b.Components[n]
+		if !ok {
+			t.Fatalf("component %q missing", n)
+		}
+		if ca.Name != cb.Name || ca.Replicable != cb.Replicable ||
+			!reflect.DeepEqual(ca.Requires, cb.Requires) ||
+			!reflect.DeepEqual(ca.Methods, cb.Methods) {
+			t.Fatalf("component %q differs: %+v vs %+v", n, ca, cb)
+		}
+		if len(ca.Implements) != len(cb.Implements) ||
+			ca.Implements[0].Name != cb.Implements[0].Name ||
+			!ca.Implements[0].Props.Equal(cb.Implements[0].Props) {
+			t.Fatalf("component %q interfaces differ", n)
+		}
+	}
+	if !reflect.DeepEqual(a.Placements, b.Placements) {
+		t.Fatalf("placements: %v vs %v", a.Placements, b.Placements)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("nodes: %d vs %d", len(a.Nodes), len(b.Nodes))
+	}
+	for n, na := range a.Nodes {
+		nb, ok := b.Nodes[n]
+		if !ok || *na != *nb {
+			t.Fatalf("node %q differs", n)
+		}
+	}
+	if !reflect.DeepEqual(a.Links, b.Links) {
+		t.Fatalf("links: %v vs %v", a.Links, b.Links)
+	}
+	if !reflect.DeepEqual(a.Clients, b.Clients) {
+		t.Fatalf("clients: %v vs %v", a.Clients, b.Clients)
+	}
+}
+
+// genSpec builds a random valid spec.
+func genSpec(r *rand.Rand) *Spec {
+	s := NewSpec()
+	nNodes := 2 + r.Intn(3)
+	for i := 0; i < nNodes; i++ {
+		s.AddNode(&Node{
+			Name:     fmt.Sprintf("n%d", i),
+			Secure:   r.Intn(2) == 0,
+			Capacity: r.Intn(3), // 0 = unlimited
+		})
+	}
+	for i := 0; i < nNodes-1; i++ {
+		s.AddLink(Link{
+			A: fmt.Sprintf("n%d", i), B: fmt.Sprintf("n%d", i+1),
+			Latency: 1 + r.Intn(50), Secure: r.Intn(2) == 0,
+		})
+	}
+	nComp := 1 + r.Intn(2)
+	for i := 0; i < nComp; i++ {
+		c := &Component{
+			Name:       fmt.Sprintf("c%d", i),
+			Replicable: r.Intn(2) == 0,
+			Methods:    []string{"m1", "m2"}[:1+r.Intn(2)],
+		}
+		iface := Interface{Name: fmt.Sprintf("I%d", i)}
+		if r.Intn(2) == 0 {
+			iface.Props = mustProps(fmt.Sprintf("F={%d..%d}", i*10, i*10+3))
+		}
+		c.Implements = []Interface{iface}
+		if i > 0 {
+			c.Requires = []string{"I0"}
+		}
+		s.AddComponent(c)
+		s.Placements[c.Name] = fmt.Sprintf("n%d", r.Intn(nNodes))
+	}
+	nClients := r.Intn(3)
+	for i := 0; i < nClients; i++ {
+		s.Clients = append(s.Clients, ClientReq{
+			Name: fmt.Sprintf("cl%d", i), Node: fmt.Sprintf("n%d", r.Intn(nNodes)),
+			Requires: fmt.Sprintf("I%d", r.Intn(nComp)),
+			QoS: QoS{
+				MaxLatency: r.Intn(3) * 20,
+				Privacy:    r.Intn(2) == 0,
+				Buying:     r.Intn(2) == 0,
+			},
+		})
+	}
+	return s
+}
+
+func TestQuickFormatRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(90))
+	f := func() bool {
+		s := genSpec(r)
+		back, err := ParseSpec(Format(s))
+		if err != nil {
+			t.Logf("reparse failed: %v\n%s", err, Format(s))
+			return false
+		}
+		// Structural equality via the same checks as the airline test.
+		ok := len(s.Components) == len(back.Components) &&
+			len(s.Nodes) == len(back.Nodes) &&
+			reflect.DeepEqual(s.Links, back.Links) &&
+			reflect.DeepEqual(s.Clients, back.Clients) &&
+			reflect.DeepEqual(s.Placements, back.Placements)
+		if !ok {
+			return false
+		}
+		for n, ca := range s.Components {
+			cb, okc := back.Components[n]
+			if !okc || !ca.Implements[0].Props.Equal(cb.Implements[0].Props) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustProps(s string) property.Set { return property.MustSet(s) }

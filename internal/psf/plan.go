@@ -1,0 +1,422 @@
+package psf
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Action is one step of a deployment plan.
+type Action struct {
+	// Kind is "deploy-view", "use-remote", "insert-encryptor", or
+	// "connect" (a deployed view's linkage to a provider of one of its
+	// required interfaces).
+	Kind string
+	// Component is the component type involved.
+	Component string
+	// Instance is the unique instance name (e.g. "agent@edge1").
+	Instance string
+	// Node is where the instance runs.
+	Node string
+	// Client is the client this action serves.
+	Client string
+	// Detail is extra human-readable context (e.g. the protected link).
+	Detail string
+	// Strong marks views that must run in strong mode (buyers).
+	Strong bool
+}
+
+func (a Action) String() string {
+	return fmt.Sprintf("%s %s (%s) on %s for %s %s", a.Kind, a.Instance, a.Component, a.Node, a.Client, a.Detail)
+}
+
+// Plan is a valid component deployment produced by the planning module.
+type Plan struct {
+	Actions []Action
+	// PathLatency records the served one-way latency per client.
+	PathLatency map[string]int
+}
+
+// viewInstances returns the deploy-view actions.
+func (p *Plan) ViewInstances() []Action {
+	var out []Action
+	for _, a := range p.Actions {
+		if a.Kind == "deploy-view" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Encryptors returns the insert-encryptor actions.
+func (p *Plan) Encryptors() []Action {
+	var out []Action
+	for _, a := range p.Actions {
+		if a.Kind == "insert-encryptor" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Connections returns the connect actions (deployed views wired to the
+// providers of their required interfaces).
+func (p *Plan) Connections() []Action {
+	var out []Action
+	for _, a := range p.Actions {
+		if a.Kind == "connect" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// String renders the plan deterministically.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for _, a := range p.Actions {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// graph is the adjacency view of the spec's environment.
+type graph struct {
+	adj map[string][]edgeTo
+}
+
+type edgeTo struct {
+	to      string
+	latency int
+	secure  bool
+}
+
+func buildGraph(s *Spec) *graph {
+	g := &graph{adj: map[string][]edgeTo{}}
+	for _, l := range s.Links {
+		g.adj[l.A] = append(g.adj[l.A], edgeTo{to: l.B, latency: l.Latency, secure: l.Secure})
+		g.adj[l.B] = append(g.adj[l.B], edgeTo{to: l.A, latency: l.Latency, secure: l.Secure})
+	}
+	for n := range g.adj {
+		es := g.adj[n]
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+		g.adj[n] = es
+	}
+	return g
+}
+
+// pqItem is a priority-queue element for Dijkstra.
+type pqItem struct {
+	node string
+	dist int
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	return q[i].dist < q[j].dist || (q[i].dist == q[j].dist && q[i].node < q[j].node)
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// shortestPath runs Dijkstra from src and returns (dist, prev) maps.
+// Unreachable nodes are absent from dist.
+func (g *graph) shortestPath(src string) (map[string]int, map[string]string) {
+	dist := map[string]int{src: 0}
+	prev := map[string]string{}
+	done := map[string]bool{}
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + e.latency
+			if cur, ok := dist[e.to]; !ok || nd < cur {
+				dist[e.to] = nd
+				prev[e.to] = it.node
+				heap.Push(q, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// pathTo reconstructs the node sequence src..dst from a prev map.
+func pathTo(prev map[string]string, src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	var rev []string
+	for at := dst; ; {
+		rev = append(rev, at)
+		p, ok := prev[at]
+		if !ok {
+			return nil // unreachable
+		}
+		if p == src {
+			rev = append(rev, src)
+			break
+		}
+		at = p
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// linkBetween finds the spec link between two adjacent nodes.
+func (s *Spec) linkBetween(a, b string) (Link, bool) {
+	for _, l := range s.Links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return l, true
+		}
+	}
+	return Link{}, false
+}
+
+// PlanDeployment is the planning module (paper §3.1 element (iii)): for
+// each client it decides whether to serve the client remotely from the
+// provider's placement or to deploy a replicable view close to the client,
+// and which insecure links on the service path need encryptor/decryptor
+// pairs.
+//
+// The decision rule mirrors the paper's examples: if the shortest-path
+// latency from the client to the provider exceeds the client's
+// MaxLatency and the provider (or an intermediary implementing the
+// required interface) is replicable, a view is deployed on the client's
+// node (or the nearest node within budget); privacy-requiring clients get
+// encryptors around every insecure link actually used.
+func PlanDeployment(s *Spec) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := buildGraph(s)
+	plan := &Plan{PathLatency: map[string]int{}}
+
+	for _, cl := range s.Clients {
+		provider, _ := s.Provider(cl.Requires)
+		provNode, err := s.providerNode(provider)
+		if err != nil {
+			return nil, fmt.Errorf("psf: client %s: %w", cl.Name, err)
+		}
+		dist, prev := g.shortestPath(cl.Node)
+		d, reachable := dist[provNode]
+		if !reachable && cl.Node != provNode {
+			return nil, fmt.Errorf("psf: client %s cannot reach provider node %s", cl.Name, provNode)
+		}
+
+		serveNode := provNode
+		kind := "use-remote"
+		if cl.QoS.MaxLatency > 0 && d > cl.QoS.MaxLatency {
+			if !provider.Replicable {
+				return nil, fmt.Errorf("psf: client %s latency %d exceeds budget %d and %s is not replicable",
+					cl.Name, d, cl.QoS.MaxLatency, provider.Name)
+			}
+			// Latency budget exceeded: deploy a view at the closest node
+			// to the client that fits the budget (prefer the client's own
+			// node).
+			serveNode = s.bestViewNode(cl, dist)
+			kind = "deploy-view"
+		}
+
+		instance := provider.Name
+		if kind == "deploy-view" {
+			instance = fmt.Sprintf("%s@%s/%s", provider.Name, serveNode, cl.Name)
+		}
+		plan.Actions = append(plan.Actions, Action{
+			Kind:      kind,
+			Component: provider.Name,
+			Instance:  instance,
+			Node:      serveNode,
+			Client:    cl.Name,
+			Strong:    cl.QoS.Buying,
+		})
+		plan.PathLatency[cl.Name] = dist[serveNode]
+
+		// A deployed view must be wired to a provider of every interface
+		// its component requires (the "requires" side of the component
+		// model, §3.1) — e.g. a travel-agent view connects back to the
+		// flight database for coherence. Record the linkage so the
+		// deployment module (and CheckPlan) can verify completeness.
+		if kind == "deploy-view" {
+			for _, reqIface := range provider.Requires {
+				reqProv, ok := s.Provider(reqIface)
+				if !ok {
+					return nil, fmt.Errorf("psf: view %s requires %s, which nothing implements", instance, reqIface)
+				}
+				reqNode, err := s.providerNode(reqProv)
+				if err != nil {
+					return nil, fmt.Errorf("psf: view %s: %w", instance, err)
+				}
+				plan.Actions = append(plan.Actions, Action{
+					Kind:      "connect",
+					Component: reqProv.Name,
+					Instance:  instance,
+					Node:      serveNode,
+					Client:    cl.Name,
+					Detail:    fmt.Sprintf("requires %s @ %s", reqIface, reqNode),
+				})
+			}
+		}
+
+		// Privacy: protect every insecure link on the client->serveNode
+		// path, and — for deployed views — the view's synchronization path
+		// back to the provider.
+		if cl.QoS.Privacy {
+			segs := [][2]string{{cl.Node, serveNode}}
+			if kind == "deploy-view" {
+				segs = append(segs, [2]string{serveNode, provNode})
+			}
+			for _, seg := range segs {
+				segDist, segPrev := g.shortestPath(seg[0])
+				_ = segDist
+				path := pathTo(segPrev, seg[0], seg[1])
+				for i := 0; i+1 < len(path); i++ {
+					l, ok := s.linkBetween(path[i], path[i+1])
+					if ok && !l.Secure {
+						plan.Actions = append(plan.Actions, Action{
+							Kind:      "insert-encryptor",
+							Component: "encryptor-pair",
+							Instance:  fmt.Sprintf("enc[%s-%s]/%s", path[i], path[i+1], cl.Name),
+							Node:      path[i],
+							Client:    cl.Name,
+							Detail:    fmt.Sprintf("protects link %s-%s", path[i], path[i+1]),
+						})
+					}
+				}
+			}
+		}
+		_ = prev
+	}
+	return plan, nil
+}
+
+// CheckPlan verifies that a plan actually satisfies every client's QoS
+// against the spec's current environment: latency budgets are met by the
+// serving placement, and privacy-requiring clients have an encryptor for
+// every insecure link on their service paths. Deployments call it after
+// planning (and after replanning on monitor events) as a safety net.
+func CheckPlan(s *Spec, p *Plan) error {
+	g := buildGraph(s)
+	serveNode := map[string]string{}
+	protected := map[string]map[string]bool{} // client -> "a-b" -> true
+	connected := map[string]map[string]bool{} // view instance -> provider component
+	views := map[string]string{}              // view instance -> component
+	for _, a := range p.Actions {
+		switch a.Kind {
+		case "deploy-view":
+			serveNode[a.Client] = a.Node
+			views[a.Instance] = a.Component
+		case "use-remote":
+			serveNode[a.Client] = a.Node
+		case "insert-encryptor":
+			if protected[a.Client] == nil {
+				protected[a.Client] = map[string]bool{}
+			}
+			protected[a.Client][a.Detail] = true
+		case "connect":
+			if connected[a.Instance] == nil {
+				connected[a.Instance] = map[string]bool{}
+			}
+			connected[a.Instance][a.Component] = true
+		}
+	}
+	// Every deployed view must be connected to a provider of each of its
+	// component's required interfaces.
+	for instance, comp := range views {
+		c, ok := s.Components[comp]
+		if !ok {
+			return fmt.Errorf("psf: plan deploys unknown component %q", comp)
+		}
+		for _, reqIface := range c.Requires {
+			reqProv, ok := s.Provider(reqIface)
+			if !ok {
+				return fmt.Errorf("psf: %s requires %s, which nothing implements", instance, reqIface)
+			}
+			if !connected[instance][reqProv.Name] {
+				return fmt.Errorf("psf: plan leaves view %s disconnected from required %s", instance, reqIface)
+			}
+		}
+	}
+	for _, cl := range s.Clients {
+		node, ok := serveNode[cl.Name]
+		if !ok {
+			return fmt.Errorf("psf: plan serves nothing to client %s", cl.Name)
+		}
+		dist, prev := g.shortestPath(cl.Node)
+		d := dist[node]
+		if cl.QoS.MaxLatency > 0 && d > cl.QoS.MaxLatency {
+			return fmt.Errorf("psf: plan leaves client %s at %dms, budget %dms", cl.Name, d, cl.QoS.MaxLatency)
+		}
+		if cl.QoS.Privacy {
+			path := pathTo(prev, cl.Node, node)
+			for i := 0; i+1 < len(path); i++ {
+				l, ok := s.linkBetween(path[i], path[i+1])
+				if !ok || l.Secure {
+					continue
+				}
+				want := fmt.Sprintf("protects link %s-%s", path[i], path[i+1])
+				wantRev := fmt.Sprintf("protects link %s-%s", path[i+1], path[i])
+				if !protected[cl.Name][want] && !protected[cl.Name][wantRev] {
+					return fmt.Errorf("psf: plan leaves insecure link %s-%s unprotected for client %s",
+						path[i], path[i+1], cl.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// providerNode finds where a provider component is placed.
+func (s *Spec) providerNode(c *Component) (string, error) {
+	if node, ok := s.Placements[c.Name]; ok {
+		return node, nil
+	}
+	return "", fmt.Errorf("component %q has no placement", c.Name)
+}
+
+// bestViewNode picks the node for a deployed view: the client's own node
+// if it has capacity, otherwise the closest node (by dist) with room.
+func (s *Spec) bestViewNode(cl ClientReq, dist map[string]int) string {
+	if s.nodeHasRoom(cl.Node) {
+		return cl.Node
+	}
+	type cand struct {
+		name string
+		d    int
+	}
+	var cands []cand
+	for n, d := range dist {
+		if n != cl.Node && s.nodeHasRoom(n) {
+			cands = append(cands, cand{name: n, d: d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].name < cands[j].name
+	})
+	if len(cands) > 0 {
+		return cands[0].name
+	}
+	return cl.Node // fall back even without capacity info
+}
+
+// nodeHasRoom is a placeholder capacity check (Capacity 0 = unlimited;
+// a fuller accounting of already-planned instances lives in Deployment).
+func (s *Spec) nodeHasRoom(name string) bool {
+	n, ok := s.Nodes[name]
+	if !ok {
+		return false
+	}
+	return n.Capacity == 0 || n.Capacity > 0 // capacity enforced at deploy time
+}

@@ -1,0 +1,192 @@
+package psf
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"flecc/internal/property"
+)
+
+// ParseSpec reads the line-oriented declarative specification format:
+//
+//	# comments and blank lines are ignored
+//	component <name> implements <iface>[(props)] [requires <iface>,...] [methods m1,m2] [replicable]
+//	node <name> [secure] [capacity=N]
+//	link <a> <b> latency=<ms> [secure]
+//	place <component> <node>
+//	client <name> at <node> requires <iface> [maxlatency=N] [privacy] [buying]
+//
+// Example:
+//
+//	component flightdb implements FlightDB(Flights={100..199}) methods browse,reserve
+//	component agent implements Reservation requires FlightDB methods browse,reserve replicable
+//	node hub secure
+//	node edge1
+//	link hub edge1 latency=40
+//	place flightdb hub
+//	client alice at edge1 requires Reservation maxlatency=10 privacy buying
+func ParseSpec(text string) (*Spec, error) {
+	spec := NewSpec()
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var err error
+		switch fields[0] {
+		case "component":
+			err = parseComponent(spec, fields[1:])
+		case "node":
+			err = parseNode(spec, fields[1:])
+		case "link":
+			err = parseLink(spec, fields[1:])
+		case "place":
+			err = parsePlace(spec, fields[1:])
+		case "client":
+			err = parseClient(spec, fields[1:])
+		default:
+			err = fmt.Errorf("unknown directive %q", fields[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("psf: spec line %d: %w", lineNo, err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func parseComponent(spec *Spec, f []string) error {
+	if len(f) < 3 || f[1] != "implements" {
+		return fmt.Errorf("component syntax: component <name> implements <iface> ...")
+	}
+	c := &Component{Name: f[0]}
+	iface, props, err := parseIfaceDecl(f[2])
+	if err != nil {
+		return err
+	}
+	c.Implements = append(c.Implements, Interface{Name: iface, Props: props})
+	i := 3
+	for i < len(f) {
+		switch f[i] {
+		case "requires":
+			if i+1 >= len(f) {
+				return fmt.Errorf("requires needs a value")
+			}
+			c.Requires = append(c.Requires, strings.Split(f[i+1], ",")...)
+			i += 2
+		case "methods":
+			if i+1 >= len(f) {
+				return fmt.Errorf("methods needs a value")
+			}
+			c.Methods = append(c.Methods, strings.Split(f[i+1], ",")...)
+			i += 2
+		case "replicable":
+			c.Replicable = true
+			i++
+		default:
+			return fmt.Errorf("unknown component attribute %q", f[i])
+		}
+	}
+	return spec.AddComponent(c)
+}
+
+// parseIfaceDecl splits "FlightDB(Flights={100..199})" into name + props.
+func parseIfaceDecl(s string) (string, property.Set, error) {
+	open := strings.Index(s, "(")
+	if open < 0 {
+		return s, property.NewSet(), nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", property.Set{}, fmt.Errorf("unbalanced interface properties in %q", s)
+	}
+	props, err := property.ParseSet(s[open+1 : len(s)-1])
+	if err != nil {
+		return "", property.Set{}, err
+	}
+	return s[:open], props, nil
+}
+
+func parseNode(spec *Spec, f []string) error {
+	if len(f) < 1 {
+		return fmt.Errorf("node needs a name")
+	}
+	n := &Node{Name: f[0]}
+	for _, attr := range f[1:] {
+		switch {
+		case attr == "secure":
+			n.Secure = true
+		case strings.HasPrefix(attr, "capacity="):
+			v, err := strconv.Atoi(strings.TrimPrefix(attr, "capacity="))
+			if err != nil {
+				return fmt.Errorf("bad capacity %q", attr)
+			}
+			n.Capacity = v
+		default:
+			return fmt.Errorf("unknown node attribute %q", attr)
+		}
+	}
+	return spec.AddNode(n)
+}
+
+func parseLink(spec *Spec, f []string) error {
+	if len(f) < 3 {
+		return fmt.Errorf("link syntax: link <a> <b> latency=<ms> [secure]")
+	}
+	l := Link{A: f[0], B: f[1]}
+	for _, attr := range f[2:] {
+		switch {
+		case strings.HasPrefix(attr, "latency="):
+			v, err := strconv.Atoi(strings.TrimPrefix(attr, "latency="))
+			if err != nil || v < 0 {
+				return fmt.Errorf("bad latency %q", attr)
+			}
+			l.Latency = v
+		case attr == "secure":
+			l.Secure = true
+		default:
+			return fmt.Errorf("unknown link attribute %q", attr)
+		}
+	}
+	return spec.AddLink(l)
+}
+
+func parsePlace(spec *Spec, f []string) error {
+	if len(f) != 2 {
+		return fmt.Errorf("place syntax: place <component> <node>")
+	}
+	spec.Placements[f[0]] = f[1]
+	return nil
+}
+
+func parseClient(spec *Spec, f []string) error {
+	if len(f) < 5 || f[1] != "at" || f[3] != "requires" {
+		return fmt.Errorf("client syntax: client <name> at <node> requires <iface> ...")
+	}
+	cl := ClientReq{Name: f[0], Node: f[2], Requires: f[4]}
+	for _, attr := range f[5:] {
+		switch {
+		case strings.HasPrefix(attr, "maxlatency="):
+			v, err := strconv.Atoi(strings.TrimPrefix(attr, "maxlatency="))
+			if err != nil || v < 0 {
+				return fmt.Errorf("bad maxlatency %q", attr)
+			}
+			cl.QoS.MaxLatency = v
+		case attr == "privacy":
+			cl.QoS.Privacy = true
+		case attr == "buying":
+			cl.QoS.Buying = true
+		default:
+			return fmt.Errorf("unknown client attribute %q", attr)
+		}
+	}
+	spec.Clients = append(spec.Clients, cl)
+	return nil
+}

@@ -1,0 +1,270 @@
+// Package registry implements Flecc's view-sharing bookkeeping: the static
+// conflict map and the dynamic property-based conflict computation
+// (paper §4.1, "Data properties").
+//
+// The static map is a symmetric matrix over views. Entry values:
+//
+//	 1  the two views statically share data;
+//	 0  the two views statically never share data;
+//	-1  the relationship is dynamic — consult dynConfl over the views'
+//	    current property sets.
+//
+// The matrix is created once when Flecc initializes; views registered
+// later default to -1 (dynamic) against everyone, which is always safe.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"flecc/internal/property"
+)
+
+// Relation is a static-matrix cell value.
+type Relation int8
+
+const (
+	// NoConflict (0): the views never share data.
+	NoConflict Relation = 0
+	// Conflict (1): the views statically share data.
+	Conflict Relation = 1
+	// Dynamic (-1): decide at run time from property sets.
+	Dynamic Relation = -1
+)
+
+func (r Relation) String() string {
+	switch r {
+	case NoConflict:
+		return "no-conflict"
+	case Conflict:
+		return "conflict"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Relation(%d)", int8(r))
+	}
+}
+
+// ViewInfo is what the registry tracks per registered view.
+type ViewInfo struct {
+	// Name is the view's unique identifier.
+	Name string
+	// Props is the view's current dynamic property set.
+	Props property.Set
+	// Active reports whether the view currently works on the shared data
+	// (between startUse and endUse in strong mode; from init to kill in
+	// weak mode).
+	Active bool
+}
+
+// Registry tracks registered views, their property sets, and the static
+// conflict matrix. It is safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	views  map[string]*ViewInfo
+	static map[[2]string]Relation
+	// defaultRel applies to pairs without a static entry.
+	defaultRel Relation
+}
+
+// New returns an empty registry whose unspecified pairs are Dynamic —
+// the safe default for views that may change their properties at run time.
+func New() *Registry {
+	return &Registry{
+		views:      map[string]*ViewInfo{},
+		static:     map[[2]string]Relation{},
+		defaultRel: Dynamic,
+	}
+}
+
+// SetDefaultRelation changes the relation assumed for pairs with no static
+// entry. Setting it to Conflict reproduces the worst-case
+// application-oblivious behaviour ("all views conflict and the updates
+// should be sent to all views").
+func (r *Registry) SetDefaultRelation(rel Relation) {
+	r.mu.Lock()
+	r.defaultRel = rel
+	r.mu.Unlock()
+}
+
+// SetStatic records a symmetric static-matrix entry for a view pair.
+func (r *Registry) SetStatic(a, b string, rel Relation) {
+	r.mu.Lock()
+	r.static[[2]string{a, b}] = rel
+	r.static[[2]string{b, a}] = rel
+	r.mu.Unlock()
+}
+
+// StaticRelation returns the static-matrix entry for a pair (the default
+// relation when unset). The diagonal is always Conflict — a view trivially
+// shares data with itself.
+func (r *Registry) StaticRelation(a, b string) Relation {
+	if a == b {
+		return Conflict
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if rel, ok := r.static[[2]string{a, b}]; ok {
+		return rel
+	}
+	return r.defaultRel
+}
+
+// Register adds a view with its initial property set. Registering an
+// existing name fails.
+func (r *Registry) Register(name string, props property.Set) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.views[name]; dup {
+		return fmt.Errorf("registry: view %q already registered", name)
+	}
+	r.views[name] = &ViewInfo{Name: name, Props: props.Clone()}
+	return nil
+}
+
+// Unregister removes a view (idempotent).
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	delete(r.views, name)
+	r.mu.Unlock()
+}
+
+// Has reports whether a view is registered.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.views[name]
+	return ok
+}
+
+// SetProps replaces a view's dynamic property set.
+func (r *Registry) SetProps(name string, props property.Set) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.views[name]
+	if !ok {
+		return fmt.Errorf("registry: view %q not registered", name)
+	}
+	v.Props = props.Clone()
+	return nil
+}
+
+// Props returns a view's current property set.
+func (r *Registry) Props(name string) (property.Set, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.views[name]
+	if !ok {
+		return property.Set{}, false
+	}
+	return v.Props.Clone(), true
+}
+
+// SetActive marks a view active or inactive.
+func (r *Registry) SetActive(name string, active bool) {
+	r.mu.Lock()
+	if v, ok := r.views[name]; ok {
+		v.Active = active
+	}
+	r.mu.Unlock()
+}
+
+// Active reports whether a view is currently active.
+func (r *Registry) Active(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.views[name]
+	return ok && v.Active
+}
+
+// Views returns the sorted names of all registered views.
+func (r *Registry) Views() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.views))
+	for n := range r.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered views.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.views)
+}
+
+// Conflicts decides whether two registered views share data, combining the
+// static matrix with the dynamic property intersection:
+//
+//   - static 1 → true,
+//   - static 0 → false,
+//   - static -1 → dynConfl over the views' current property sets.
+//
+// Unregistered views never conflict.
+func (r *Registry) Conflicts(a, b string) bool {
+	switch r.StaticRelation(a, b) {
+	case Conflict:
+		// Still require both registered.
+		r.mu.RLock()
+		_, okA := r.views[a]
+		_, okB := r.views[b]
+		r.mu.RUnlock()
+		return okA && okB
+	case NoConflict:
+		return false
+	default:
+		r.mu.RLock()
+		va, okA := r.views[a]
+		vb, okB := r.views[b]
+		r.mu.RUnlock()
+		if !okA || !okB {
+			return false
+		}
+		return property.DynConfl(va.Props, vb.Props) == 1
+	}
+}
+
+// ConflictingWith returns the sorted names of registered views that share
+// data with the given view (excluding itself). If activeOnly is set, only
+// currently active views are returned — the set the directory manager must
+// invalidate (strong mode) or update (weak mode).
+func (r *Registry) ConflictingWith(name string, activeOnly bool) []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.views))
+	for n, v := range r.views {
+		if n == name {
+			continue
+		}
+		if activeOnly && !v.Active {
+			continue
+		}
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	var out []string
+	for _, n := range names {
+		if r.Conflicts(name, n) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SharedInterest returns the intersection of the two views' current
+// property sets (empty when their relationship is static). The directory
+// manager uses it to restrict update payloads to the overlapping data.
+func (r *Registry) SharedInterest(a, b string) property.Set {
+	r.mu.RLock()
+	va, okA := r.views[a]
+	vb, okB := r.views[b]
+	r.mu.RUnlock()
+	if !okA || !okB {
+		return property.NewSet()
+	}
+	return va.Props.Intersect(vb.Props)
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"flecc/internal/image"
+	"flecc/internal/property"
+	"flecc/internal/wire"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(10)
+	r.OnMessage("v2", "dm", &wire.Message{Type: wire.TPull, Seq: 7})
+	r.OnMessage("dm", "v1", &wire.Message{Type: wire.TInvalidate, Seq: 8})
+	img := image.New(property.NewSet())
+	img.Put(image.Entry{Key: "k", Value: []byte("v")})
+	img.Version = 3
+	r.OnMessage("v1", "dm", &wire.Message{Type: wire.TImage, Seq: 8, Img: img})
+	r.OnMessage("dm", "v2", &wire.Message{Type: wire.TErr, Seq: 7, Err: "boom"})
+
+	if r.Total() != 4 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	events := r.Events()
+	if len(events) != 4 || events[0].N != 1 || events[3].N != 4 {
+		t.Fatalf("events = %+v", events)
+	}
+	out := r.String()
+	for _, want := range []string{"pull", "invalidate", "img(v3,1)", "err=boom", "seq=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diagram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecorderRingBuffer(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 7; i++ {
+		r.OnMessage("a", "b", &wire.Message{Type: wire.TPull, Seq: uint64(i)})
+	}
+	if r.Total() != 7 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained = %d", len(events))
+	}
+	// The most recent three, in order.
+	if events[0].Seq != 4 || events[1].Seq != 5 || events[2].Seq != 6 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].N != 5 {
+		t.Fatalf("numbering = %+v", events[0])
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	r := NewRecorder(10)
+	r.SetFilter(func(m *wire.Message) bool { return m.Type == wire.TInvalidate })
+	r.OnMessage("a", "b", &wire.Message{Type: wire.TPull})
+	r.OnMessage("a", "b", &wire.Message{Type: wire.TInvalidate})
+	if r.Total() != 1 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(0) // default capacity
+	r.OnMessage("a", "b", &wire.Message{Type: wire.TPull})
+	r.Reset()
+	if r.Total() != 0 || len(r.Events()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestRecorderWithProtocolRun(t *testing.T) {
+	// The recorder is a drop-in observer: Figure 2's strong-mode
+	// invalidation sequence shows up as pull → invalidate → image → image.
+	// (Wired through the real protocol in the flecc package test
+	// TestTraceOption; here we just confirm the rendering order.)
+	r := NewRecorder(100)
+	seq := []wire.Type{wire.TPull, wire.TInvalidate, wire.TImage, wire.TImage}
+	for i, typ := range seq {
+		r.OnMessage("x", "y", &wire.Message{Type: typ, Seq: uint64(i)})
+	}
+	out := r.String()
+	iPull := strings.Index(out, "pull")
+	iInv := strings.Index(out, "invalidate")
+	if iPull < 0 || iInv < 0 || iPull > iInv {
+		t.Fatalf("ordering wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"flecc/internal/secure"
+	"flecc/internal/wire"
+)
+
+// TestProtocolOverSecureLink runs the framed transport through an
+// encryptor/decryptor pair (the PSF privacy deployment): request/reply and
+// server-initiated calls both traverse the sealed link, and a client with
+// the wrong key cannot talk at all.
+func TestProtocolOverSecureLink(t *testing.T) {
+	pair := secure.NewPair([]byte("insecure-link-hub-edge1"))
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := secure.NewListener(raw, pair)
+	srv := Serve(ln, "dm", func(req *wire.Message) *wire.Message {
+		return &wire.Message{Type: wire.TAck, Version: req.Since + 1}
+	}, 5*time.Second)
+	defer srv.Close()
+
+	conn, err := secure.Dial(raw.Addr().String(), pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DialConn(conn, "cm1", func(req *wire.Message) *wire.Message {
+		return &wire.Message{Type: wire.TImage}
+	}, 5*time.Second)
+	defer c.Close()
+
+	reply, err := c.Call("dm", &wire.Message{Type: wire.TPull, Since: 9})
+	if err != nil || reply.Version != 10 {
+		t.Fatalf("reply = %+v, err = %v", reply, err)
+	}
+	// Server-initiated call through the sealed link.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		reply, err = srv.Call("cm1", &wire.Message{Type: wire.TInvalidate})
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err != nil || reply.Type != wire.TImage {
+		t.Fatalf("server call: %+v, %v", reply, err)
+	}
+
+	// A client with the wrong key never completes a call.
+	wrong, err := secure.Dial(raw.Addr().String(), secure.NewPair([]byte("wrong")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DialConn(wrong, "mallory", echoHandler, 500*time.Millisecond)
+	defer bad.Close()
+	if _, err := bad.Call("dm", &wire.Message{Type: wire.TPull}); err == nil {
+		t.Fatal("wrong-key client should not get a reply")
+	}
+}

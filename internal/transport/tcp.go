@@ -1,0 +1,403 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flecc/internal/wire"
+)
+
+// peer manages one full-duplex framed connection. Both sides can initiate
+// requests; the read loop demultiplexes replies (matched by Seq to a
+// pending call) from incoming requests (dispatched to the handler on a
+// fresh goroutine so that a handler may itself issue nested calls over the
+// same connection without deadlocking).
+type peer struct {
+	name    string // local node name
+	conn    net.Conn
+	handler Handler
+
+	writeMu sync.Mutex // serializes frames onto conn
+
+	mu      sync.Mutex
+	pending map[uint64]chan *wire.Message
+	closed  bool
+	err     error
+
+	seq atomic.Uint64
+
+	// onFirstMessage, if set, is invoked once with the first message
+	// received; the TCP server uses it to learn the remote node's name.
+	onFirstMessage func(from string, p *peer)
+	firstOnce      sync.Once
+
+	onClose func(p *peer)
+	wg      sync.WaitGroup
+}
+
+func newPeer(name string, conn net.Conn, h Handler) *peer {
+	return &peer{
+		name:    name,
+		conn:    conn,
+		handler: h,
+		pending: map[uint64]chan *wire.Message{},
+	}
+}
+
+func (p *peer) start() {
+	p.wg.Add(1)
+	go p.readLoop()
+}
+
+func (p *peer) readLoop() {
+	defer p.wg.Done()
+	for {
+		m, err := wire.ReadFrame(p.conn)
+		if err != nil {
+			p.shutdown(err)
+			return
+		}
+		p.firstOnce.Do(func() {
+			if p.onFirstMessage != nil {
+				p.onFirstMessage(m.From, p)
+			}
+		})
+		if m.IsReply() {
+			p.mu.Lock()
+			ch, ok := p.pending[m.Seq]
+			if ok {
+				delete(p.pending, m.Seq)
+			}
+			p.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+			// Unmatched replies (caller timed out) are dropped.
+			continue
+		}
+		// Request: serve on its own goroutine so nested calls work.
+		p.wg.Add(1)
+		go func(req *wire.Message) {
+			defer p.wg.Done()
+			reply := p.serve(req)
+			reply.Seq = req.Seq
+			reply.From = p.name
+			p.writeMu.Lock()
+			err := wire.WriteFrame(p.conn, reply)
+			p.writeMu.Unlock()
+			if err != nil {
+				p.shutdown(err)
+			}
+		}(m)
+	}
+}
+
+func (p *peer) serve(req *wire.Message) (reply *wire.Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			reply = &wire.Message{Type: wire.TErr, Err: fmt.Sprintf("handler panic: %v", r)}
+		}
+	}()
+	if p.handler == nil {
+		return &wire.Message{Type: wire.TErr, Err: "no handler"}
+	}
+	reply = p.handler(req)
+	if reply == nil {
+		reply = &wire.Message{Type: wire.TAck}
+	}
+	return reply
+}
+
+func (p *peer) call(req *wire.Message, timeout time.Duration) (*wire.Message, error) {
+	seq := p.seq.Add(1)
+	req.Seq = seq
+	req.From = p.name
+	ch := make(chan *wire.Message, 1)
+
+	p.mu.Lock()
+	if p.closed {
+		err := p.err
+		p.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, fmt.Errorf("transport: call on closed peer: %w", err)
+	}
+	p.pending[seq] = ch
+	p.mu.Unlock()
+
+	p.writeMu.Lock()
+	err := wire.WriteFrame(p.conn, req)
+	p.writeMu.Unlock()
+	if err != nil {
+		p.mu.Lock()
+		delete(p.pending, seq)
+		p.mu.Unlock()
+		p.shutdown(err)
+		return nil, err
+	}
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok || reply == nil {
+			return nil, ErrClosed
+		}
+		if err := wire.ErrorOf(reply); err != nil {
+			return reply, err
+		}
+		return reply, nil
+	case <-timer:
+		p.mu.Lock()
+		delete(p.pending, seq)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("transport: call to peer timed out after %v", timeout)
+	}
+}
+
+func (p *peer) shutdown(err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.err = err
+	pend := p.pending
+	p.pending = map[uint64]chan *wire.Message{}
+	p.mu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
+	p.conn.Close()
+	if p.onClose != nil {
+		p.onClose(p)
+	}
+}
+
+// Server is the TCP listener side: it accepts cache-manager connections,
+// routes their requests to the handler, and can initiate calls (e.g.
+// invalidations) to any connected client by node name.
+type Server struct {
+	name    string
+	ln      net.Listener
+	handler Handler
+	timeout time.Duration
+
+	mu      sync.Mutex
+	clients map[string]*peer
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Serve starts a server named name on ln. The handler serves client
+// requests. timeout bounds server-initiated calls (0 = no timeout).
+func Serve(ln net.Listener, name string, h Handler, timeout time.Duration) *Server {
+	s := &Server{name: name, ln: ln, handler: h, timeout: timeout, clients: map[string]*peer{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Name returns the server's node name.
+func (s *Server) Name() string { return s.name }
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p := newPeer(s.name, conn, s.handler)
+		p.onFirstMessage = func(from string, pr *peer) {
+			s.mu.Lock()
+			if !s.closed {
+				s.clients[from] = pr
+			}
+			s.mu.Unlock()
+		}
+		p.onClose = func(pr *peer) {
+			s.mu.Lock()
+			for n, q := range s.clients {
+				if q == pr {
+					delete(s.clients, n)
+				}
+			}
+			s.mu.Unlock()
+		}
+		p.start()
+	}
+}
+
+// Call sends a request to the named connected client and waits for the
+// reply. It implements the Endpoint Call shape so the directory manager
+// can treat the server as its endpoint.
+func (s *Server) Call(to string, req *wire.Message) (*wire.Message, error) {
+	s.mu.Lock()
+	p, ok := s.clients[to]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (not connected)", ErrUnknownNode, to)
+	}
+	return p.call(req, s.timeout)
+}
+
+// Clients returns the names of currently connected clients.
+func (s *Server) Clients() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.clients))
+	for n := range s.clients {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Close stops accepting and closes all client connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	clients := make([]*peer, 0, len(s.clients))
+	for _, p := range s.clients {
+		clients = append(clients, p)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, p := range clients {
+		p.shutdown(ErrClosed)
+	}
+	return err
+}
+
+// ServerNetwork adapts a TCP listener into a Network with exactly one
+// attachable node: the server itself. It lets the directory manager run
+// unmodified over TCP (fleccd).
+type ServerNetwork struct {
+	ln      net.Listener
+	timeout time.Duration
+
+	mu  sync.Mutex
+	srv *Server
+}
+
+// NewServerNetwork wraps a listener. timeout bounds server-initiated calls.
+func NewServerNetwork(ln net.Listener, timeout time.Duration) *ServerNetwork {
+	return &ServerNetwork{ln: ln, timeout: timeout}
+}
+
+// Attach implements Network; only the first attachment succeeds.
+func (n *ServerNetwork) Attach(name string, h Handler) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.srv != nil {
+		return nil, fmt.Errorf("transport: server network already has node %q", n.srv.Name())
+	}
+	n.srv = Serve(n.ln, name, h, n.timeout)
+	return serverEndpoint{n.srv}, nil
+}
+
+// Server returns the underlying server (nil before Attach).
+func (n *ServerNetwork) Server() *Server {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.srv
+}
+
+type serverEndpoint struct{ s *Server }
+
+func (e serverEndpoint) Name() string { return e.s.Name() }
+func (e serverEndpoint) Call(to string, req *wire.Message) (*wire.Message, error) {
+	req.From = e.s.Name()
+	return e.s.Call(to, req)
+}
+func (e serverEndpoint) Close() error { return e.s.Close() }
+
+// DialNetwork adapts a server address into a Network: each attachment
+// dials a fresh connection as the named node. It lets cache managers run
+// unmodified over TCP (fleccview).
+type DialNetwork struct {
+	addr    string
+	timeout time.Duration
+	// DialFn, if non-nil, replaces the plain TCP dial — e.g. with a
+	// secure.Dial through an encryptor/decryptor pair.
+	DialFn func(addr string) (net.Conn, error)
+}
+
+// NewDialNetwork returns a dialing network for the given server address.
+func NewDialNetwork(addr string, timeout time.Duration) *DialNetwork {
+	return &DialNetwork{addr: addr, timeout: timeout}
+}
+
+// Attach implements Network by dialing the server.
+func (n *DialNetwork) Attach(name string, h Handler) (Endpoint, error) {
+	if n.DialFn != nil {
+		conn, err := n.DialFn(n.addr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: dial %s: %w", n.addr, err)
+		}
+		return DialConn(conn, name, h, n.timeout), nil
+	}
+	return Dial(n.addr, name, h, n.timeout)
+}
+
+var _ Network = (*ServerNetwork)(nil)
+var _ Network = (*DialNetwork)(nil)
+var _ Endpoint = (*Client)(nil)
+
+// Client is the dialing side: a cache manager connected to the directory
+// server. Calls always go to the server regardless of the to argument
+// (the star topology has a single hub); the handler serves server-initiated
+// requests such as invalidations.
+type Client struct {
+	p       *peer
+	timeout time.Duration
+}
+
+// Dial connects to a Server at addr as node name. The handler serves
+// server-initiated requests. timeout bounds calls (0 = no timeout).
+func Dial(addr, name string, h Handler, timeout time.Duration) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return DialConn(conn, name, h, timeout), nil
+}
+
+// DialConn builds a client over an already-established connection — e.g.
+// one protected by an encryptor/decryptor pair (internal/secure) when the
+// PSF plan calls for privacy over an insecure link.
+func DialConn(conn net.Conn, name string, h Handler, timeout time.Duration) *Client {
+	p := newPeer(name, conn, h)
+	p.start()
+	return &Client{p: p, timeout: timeout}
+}
+
+// Name implements Endpoint.
+func (c *Client) Name() string { return c.p.name }
+
+// Call implements Endpoint; the destination name is informational only.
+func (c *Client) Call(_ string, req *wire.Message) (*wire.Message, error) {
+	return c.p.call(req, c.timeout)
+}
+
+// Close implements Endpoint.
+func (c *Client) Close() error {
+	c.p.shutdown(ErrClosed)
+	return nil
+}

@@ -1,0 +1,176 @@
+package trigger
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Type is the static type of an expression node: number or boolean.
+type Type uint8
+
+const (
+	// TNumber is a float64-valued expression.
+	TNumber Type = iota
+	// TBool is a boolean-valued expression.
+	TBool
+)
+
+func (t Type) String() string {
+	if t == TBool {
+		return "bool"
+	}
+	return "number"
+}
+
+// Node is a typed expression-tree node. Nodes are immutable after parsing.
+type Node interface {
+	// Type returns the node's static type, established at parse time.
+	Type() Type
+	// String renders the node in source syntax (re-parseable).
+	String() string
+	// walk visits the node and its children.
+	walk(fn func(Node))
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct{ Value float64 }
+
+// BoolLit is `true` or `false`.
+type BoolLit struct{ Value bool }
+
+// Var references a variable by name; "t" is the virtual time variable.
+type Var struct{ Name string }
+
+// Unary is negation: "-x" (numeric) or "!x" (boolean).
+type Unary struct {
+	Op string // "-" or "!"
+	X  Node
+}
+
+// Binary is an infix operation. Arithmetic ops ("+","-","*","/","%") have
+// numeric operands and a numeric result; comparisons ("<","<=",">",">=",
+// "==","!=") have numeric operands and boolean result; logic ops ("&&","||")
+// have boolean operands and boolean result.
+type Binary struct {
+	Op   string
+	L, R Node
+}
+
+// Call is a built-in function application.
+type Call struct {
+	Fn   string
+	Args []Node
+}
+
+func (n *NumberLit) Type() Type { return TNumber }
+func (n *BoolLit) Type() Type   { return TBool }
+func (n *Var) Type() Type       { return TNumber } // variables are numeric
+func (n *Unary) Type() Type {
+	if n.Op == "!" {
+		return TBool
+	}
+	return TNumber
+}
+
+func (n *Binary) Type() Type {
+	switch n.Op {
+	case "+", "-", "*", "/", "%":
+		return TNumber
+	default:
+		return TBool
+	}
+}
+
+func (n *Call) Type() Type {
+	if n.Fn == "every" {
+		return TBool
+	}
+	return TNumber
+}
+
+func (n *NumberLit) String() string {
+	return strconv.FormatFloat(n.Value, 'g', -1, 64)
+}
+func (n *BoolLit) String() string { return strconv.FormatBool(n.Value) }
+func (n *Var) String() string     { return n.Name }
+func (n *Unary) String() string   { return n.Op + paren(n.X) }
+func (n *Binary) String() string {
+	return paren(n.L) + " " + n.Op + " " + paren(n.R)
+}
+func (n *Call) String() string {
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = a.String()
+	}
+	return n.Fn + "(" + strings.Join(args, ", ") + ")"
+}
+
+func paren(n Node) string {
+	switch n.(type) {
+	case *NumberLit, *BoolLit, *Var, *Call:
+		return n.String()
+	default:
+		return "(" + n.String() + ")"
+	}
+}
+
+func (n *NumberLit) walk(fn func(Node)) { fn(n) }
+func (n *BoolLit) walk(fn func(Node))   { fn(n) }
+func (n *Var) walk(fn func(Node))       { fn(n) }
+func (n *Unary) walk(fn func(Node)) {
+	fn(n)
+	n.X.walk(fn)
+}
+func (n *Binary) walk(fn func(Node)) {
+	fn(n)
+	n.L.walk(fn)
+	n.R.walk(fn)
+}
+func (n *Call) walk(fn func(Node)) {
+	fn(n)
+	for _, a := range n.Args {
+		a.walk(fn)
+	}
+}
+
+// Vars returns the sorted set of variable names referenced by the
+// expression (including "t" if used). The cache manager uses this to know
+// which view variables it must sample before each evaluation.
+func Vars(n Node) []string {
+	seen := map[string]bool{}
+	n.walk(func(m Node) {
+		if v, ok := m.(*Var); ok {
+			seen[v.Name] = true
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UsesTime reports whether the expression references the time variable t.
+// Time-independent triggers need re-evaluation only when variables change;
+// time-dependent ones are re-checked on every clock tick.
+func UsesTime(n Node) bool {
+	for _, v := range Vars(n) {
+		if v == "t" {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseError is a syntax or type error with position information.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("trigger: parse error at offset %d: %s", e.Pos, e.Msg)
+}

@@ -1,0 +1,148 @@
+// Package trigger implements Flecc's quality-trigger language (paper §4.1,
+// Definition 4): boolean expressions over discrete time t and view
+// variables, such as the paper's "(t > 1500)".
+//
+// A trigger T_v(t, x1, x2, ...) : T × V_v* → {true,false} is compiled once
+// into an AST and evaluated repeatedly against an Env that supplies the
+// current virtual time and the view's variable values. The cache manager
+// evaluates push/pull triggers on clock ticks; the directory manager
+// evaluates validity triggers when serving pulls. Flecc itself attaches no
+// semantics to the variables — it only evaluates the expression.
+//
+// Grammar (precedence from lowest to highest):
+//
+//	expr    = or
+//	or      = and { ("||" | "or") and }
+//	and     = not { ("&&" | "and") not }
+//	not     = { "!" | "not" } cmp
+//	cmp     = sum [ ("==" | "!=" | "<" | "<=" | ">" | ">=") sum ]
+//	sum     = term { ("+" | "-") term }
+//	term    = unary { ("*" | "/" | "%") unary }
+//	unary   = [ "-" ] primary
+//	primary = NUMBER | "true" | "false" | IDENT | IDENT "(" args ")" |
+//	          "(" expr ")"
+//
+// Built-in functions: abs(x), min(a,b,...), max(a,b,...), every(period)
+// — the latter is true when t is a non-zero multiple of period, giving the
+// periodic pull triggers used in the Figure 6 experiment.
+package trigger
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokIdent
+	tokLParen
+	tokRParen
+	tokComma
+	tokOp // operator or punctuation, text in token.text
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int // byte offset in input, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return strconv.FormatFloat(t.num, 'g', -1, 64)
+	default:
+		return t.text
+	}
+}
+
+// lexError describes a lexical error with its position.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("trigger: lex error at offset %d: %s", e.pos, e.msg)
+}
+
+// lex tokenizes the input. It returns all tokens including a trailing EOF
+// token, or an error for unrecognized input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			start := i
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && i > start && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			text := input[start:i]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, &lexError{pos: start, msg: fmt.Sprintf("bad number %q", text)}
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: v, pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[start:i], pos: start})
+		default:
+			// Multi-char operators first.
+			rest := input[i:]
+			matched := ""
+			for _, op := range [...]string{"&&", "||", "==", "!=", "<=", ">="} {
+				if strings.HasPrefix(rest, op) {
+					matched = op
+					break
+				}
+			}
+			if matched == "" {
+				switch c {
+				case '<', '>', '!', '+', '-', '*', '/', '%', '=':
+					matched = string(c)
+				default:
+					return nil, &lexError{pos: i, msg: fmt.Sprintf("unexpected character %q", c)}
+				}
+			}
+			toks = append(toks, token{kind: tokOp, text: matched, pos: i})
+			i += len(matched)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

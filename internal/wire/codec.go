@@ -1,0 +1,284 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"flecc/internal/image"
+	"flecc/internal/property"
+	"flecc/internal/vclock"
+)
+
+// The binary format is little-endian with length-prefixed strings and byte
+// slices. Field presence is driven entirely by the message Type where
+// possible and by explicit presence bytes for optional payloads (Props,
+// Img), so the encoding stays self-describing enough for fuzzing while
+// remaining compact. A message on a stream is framed by a u32 length.
+
+const (
+	// maxFrame bounds a single framed message (16 MiB) as a defense
+	// against corrupted length prefixes.
+	maxFrame = 16 << 20
+	// codecVersion is bumped on incompatible format changes.
+	codecVersion = 1
+)
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: truncated message reading %s at offset %d", what, d.off)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil || d.off+int(n) > len(d.buf) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || d.off+int(n) > len(d.buf) {
+		d.fail("bytes")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:d.off+int(n)])
+	d.off += int(n)
+	return b
+}
+
+// Encode serializes a message to a fresh byte slice (without framing).
+func Encode(m *Message) []byte {
+	e := &encoder{buf: make([]byte, 0, 64)}
+	e.u8(codecVersion)
+	e.u8(uint8(m.Type))
+	e.u64(m.Seq)
+	e.str(m.From)
+	e.str(m.View)
+	e.u8(uint8(m.Mode))
+	e.u8(uint8(m.Op))
+	e.u64(uint64(m.Since))
+	e.u64(uint64(m.Version))
+	e.u32(m.Ops)
+	// Props: presence + textual form (round-trips exactly; see property
+	// package tests).
+	if m.Props.IsEmpty() {
+		e.bool(false)
+	} else {
+		e.bool(true)
+		e.str(m.Props.String())
+	}
+	e.str(m.Trig.Push)
+	e.str(m.Trig.Pull)
+	e.str(m.Trig.Validity)
+	if m.Img == nil {
+		e.bool(false)
+	} else {
+		e.bool(true)
+		encodeImage(e, m.Img)
+	}
+	e.str(m.Err)
+	return e.buf
+}
+
+func encodeImage(e *encoder, im *image.Image) {
+	if im.Props.IsEmpty() {
+		e.bool(false)
+	} else {
+		e.bool(true)
+		e.str(im.Props.String())
+	}
+	e.u64(uint64(im.Version))
+	e.u32(uint32(im.Len()))
+	for _, k := range im.Keys() {
+		ent := im.Entries[k]
+		e.str(ent.Key)
+		e.bytes(ent.Value)
+		e.u64(uint64(ent.Version))
+		e.str(ent.Writer)
+		e.bool(ent.Deleted)
+	}
+}
+
+// Decode parses a message produced by Encode.
+func Decode(b []byte) (*Message, error) {
+	d := &decoder{buf: b}
+	ver := d.u8()
+	if d.err == nil && ver != codecVersion {
+		return nil, fmt.Errorf("wire: unsupported codec version %d", ver)
+	}
+	m := &Message{}
+	m.Type = Type(d.u8())
+	m.Seq = d.u64()
+	m.From = d.str()
+	m.View = d.str()
+	m.Mode = Mode(d.u8())
+	m.Op = OpClass(d.u8())
+	m.Since = vclock.Version(d.u64())
+	m.Version = vclock.Version(d.u64())
+	m.Ops = d.u32()
+	if d.bool() {
+		txt := d.str()
+		if d.err == nil {
+			props, err := property.ParseSet(txt)
+			if err != nil {
+				return nil, fmt.Errorf("wire: bad props payload: %w", err)
+			}
+			m.Props = props
+		}
+	}
+	m.Trig.Push = d.str()
+	m.Trig.Pull = d.str()
+	m.Trig.Validity = d.str()
+	if d.bool() {
+		im, err := decodeImage(d)
+		if err != nil {
+			return nil, err
+		}
+		m.Img = im
+	}
+	m.Err = d.str()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after message", len(b)-d.off)
+	}
+	return m, nil
+}
+
+func decodeImage(d *decoder) (*image.Image, error) {
+	var props property.Set
+	if d.bool() {
+		txt := d.str()
+		if d.err == nil {
+			p, err := property.ParseSet(txt)
+			if err != nil {
+				return nil, fmt.Errorf("wire: bad image props: %w", err)
+			}
+			props = p
+		}
+	}
+	im := image.New(props)
+	im.Version = vclock.Version(d.u64())
+	n := d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if int(n) > maxFrame/8 {
+		return nil, fmt.Errorf("wire: implausible entry count %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var ent image.Entry
+		ent.Key = d.str()
+		ent.Value = d.bytes()
+		ent.Version = vclock.Version(d.u64())
+		ent.Writer = d.str()
+		ent.Deleted = d.bool()
+		if d.err != nil {
+			return nil, d.err
+		}
+		im.Put(ent)
+	}
+	return im, nil
+}
+
+// WriteFrame writes one length-prefixed message to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	payload := Encode(m)
+	if len(payload) > maxFrame {
+		return fmt.Errorf("wire: message too large (%d bytes)", len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return Decode(payload)
+}

@@ -1,0 +1,156 @@
+// Package workload generates the synthetic client behaviour the paper's
+// introduction motivates: "an airline reservation system might allow users
+// to browse flights, buy tickets, and switch between the two modes of
+// operation. In general, users accept stale data during browsing (weak
+// consistency), but require most current data when buying tickets (strong
+// consistency)."
+//
+// A Generator produces a deterministic (seeded) stream of client sessions:
+// each session is a run of browse operations followed, with probability
+// BuyFraction, by an upgrade to buying and a purchase. The buyer-mix
+// experiment (experiments.RunBuyerMix) sweeps BuyFraction to show how the
+// cost of coherence scales with the share of clients that actually need
+// strong consistency — Flecc's central value proposition.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is one client action.
+type OpKind uint8
+
+const (
+	// OpBrowse is a read-only lookup (weak mode suffices).
+	OpBrowse OpKind = iota
+	// OpUpgrade switches the client's agent to strong mode.
+	OpUpgrade
+	// OpBuy purchases seats (requires strong mode).
+	OpBuy
+	// OpDowngrade returns the agent to weak mode after buying.
+	OpDowngrade
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpBrowse:
+		return "browse"
+	case OpUpgrade:
+		return "upgrade"
+	case OpBuy:
+		return "buy"
+	case OpDowngrade:
+		return "downgrade"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one generated client action.
+type Op struct {
+	Kind OpKind
+	// Client indexes the client performing the action.
+	Client int
+	// Flight is the target flight (browse filter origin or purchase
+	// target).
+	Flight int
+	// Seats is the purchase size (OpBuy only).
+	Seats int
+}
+
+// Config parameterizes the generator.
+type Config struct {
+	// Seed makes the stream reproducible.
+	Seed int64
+	// Clients is the number of concurrent client sessions.
+	Clients int
+	// Sessions is the number of sessions generated per client.
+	Sessions int
+	// BrowsesPerSession is the mean browse-run length (geometric-ish,
+	// at least 1).
+	BrowsesPerSession int
+	// BuyFraction in [0,1] is the probability a session ends in a
+	// purchase.
+	BuyFraction float64
+	// FlightsFrom/FlightsTo bound the flights clients look at.
+	FlightsFrom, FlightsTo int
+	// MaxSeats bounds purchase sizes (≥1).
+	MaxSeats int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Clients <= 0 || c.Sessions <= 0 {
+		return fmt.Errorf("workload: Clients and Sessions must be positive")
+	}
+	if c.BuyFraction < 0 || c.BuyFraction > 1 {
+		return fmt.Errorf("workload: BuyFraction must be in [0,1], got %g", c.BuyFraction)
+	}
+	if c.FlightsTo < c.FlightsFrom {
+		return fmt.Errorf("workload: empty flight range [%d,%d]", c.FlightsFrom, c.FlightsTo)
+	}
+	return nil
+}
+
+// Generate produces the full deterministic op stream. Client sessions are
+// interleaved round-robin (client 0 session 0, client 1 session 0, ...),
+// matching the round-robin drive of the experiment harnesses.
+func Generate(cfg Config) ([]Op, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BrowsesPerSession < 1 {
+		cfg.BrowsesPerSession = 1
+	}
+	if cfg.MaxSeats < 1 {
+		cfg.MaxSeats = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	flight := func() int {
+		return cfg.FlightsFrom + r.Intn(cfg.FlightsTo-cfg.FlightsFrom+1)
+	}
+	var ops []Op
+	for s := 0; s < cfg.Sessions; s++ {
+		for c := 0; c < cfg.Clients; c++ {
+			nBrowse := 1 + r.Intn(2*cfg.BrowsesPerSession-1)
+			for b := 0; b < nBrowse; b++ {
+				ops = append(ops, Op{Kind: OpBrowse, Client: c, Flight: flight()})
+			}
+			if r.Float64() < cfg.BuyFraction {
+				ops = append(ops, Op{Kind: OpUpgrade, Client: c})
+				ops = append(ops, Op{
+					Kind:   OpBuy,
+					Client: c,
+					Flight: flight(),
+					Seats:  1 + r.Intn(cfg.MaxSeats),
+				})
+				ops = append(ops, Op{Kind: OpDowngrade, Client: c})
+			}
+		}
+	}
+	return ops, nil
+}
+
+// Stats summarizes a stream.
+type Stats struct {
+	Browses, Buys, Upgrades int
+	SeatsSold               int
+}
+
+// Summarize tallies a stream.
+func Summarize(ops []Op) Stats {
+	var s Stats
+	for _, op := range ops {
+		switch op.Kind {
+		case OpBrowse:
+			s.Browses++
+		case OpBuy:
+			s.Buys++
+			s.SeatsSold += op.Seats
+		case OpUpgrade:
+			s.Upgrades++
+		}
+	}
+	return s
+}
