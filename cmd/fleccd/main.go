@@ -3,9 +3,15 @@
 // synthetic flights), and remote cache managers (fleccview) connect over
 // TCP to register views, pull, push, and switch modes.
 //
+// With -shards N (N > 1) the directory is partitioned across N shard
+// directory managers behind a router (internal/shard); clients still dial
+// the one listen address and name, and the status log reports per-shard
+// versions and traffic.
+//
 // Usage:
 //
 //	fleccd -addr :7070 -flights 100 -capacity 200
+//	fleccd -addr :7070 -shards 4
 package main
 
 import (
@@ -15,11 +21,15 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"flecc/internal/airline"
 	"flecc/internal/directory"
+	"flecc/internal/image"
+	"flecc/internal/metrics"
 	"flecc/internal/secure"
+	"flecc/internal/shard"
 	"flecc/internal/transport"
 	"flecc/internal/vclock"
 )
@@ -30,19 +40,23 @@ func main() {
 		name      = flag.String("name", "db", "directory manager node name")
 		flights   = flag.Int("flights", 100, "number of synthetic flights to seed (starting at 100)")
 		capacity  = flag.Int("capacity", 200, "seats per flight")
+		shards    = flag.Int("shards", 1, "number of directory shards (1 = plain single directory manager)")
 		interval  = flag.Duration("status", 10*time.Second, "status log interval (0 disables)")
 		key       = flag.String("key", "", "shared secret; when set, the link is protected by an encryptor/decryptor pair")
-		ckptPath  = flag.String("checkpoint", "", "file to write protocol-metadata snapshots to (enables fail-over; see -checkpoint-every)")
+		ckptPath  = flag.String("checkpoint", "", "file to write protocol-metadata snapshots to (enables fail-over; per-shard files get a .sN suffix)")
 		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "snapshot interval when -checkpoint is set")
 	)
 	flag.Parse()
-	if err := run(*addr, *name, *flights, *capacity, *interval, *key, *ckptPath, *ckptEvery); err != nil {
+	if err := run(*addr, *name, *flights, *capacity, *shards, *interval, *key, *ckptPath, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "fleccd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, name string, flights, capacity int, statusEvery time.Duration, key, ckptPath string, ckptEvery time.Duration) error {
+func run(addr, name string, flights, capacity, shards int, statusEvery time.Duration, key, ckptPath string, ckptEvery time.Duration) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1")
+	}
 	db := airline.NewReservationSystem()
 	airline.SeedFlights(db, 100, flights, capacity)
 
@@ -57,41 +71,32 @@ func run(addr, name string, flights, capacity int, statusEvery time.Duration, ke
 	}
 	snet := transport.NewServerNetwork(ln, 30*time.Second)
 	opts := directory.Options{Resolver: airline.SeatResolver}
-	if ckptPath != "" {
-		// Warm-restore from a previous checkpoint, if present (the
-		// fail-over mechanism; see PROTOCOL.md).
-		if blob, err := os.ReadFile(ckptPath); err == nil {
-			snap, err := directory.DecodeSnapshot(blob)
-			if err != nil {
-				return fmt.Errorf("restore %s: %w", ckptPath, err)
-			}
-			opts.Snapshot = snap
-			log.Printf("fleccd: restored checkpoint from %s (v%d)", ckptPath, snap.Version)
-		}
-	}
-	dm, err := directory.New(name, db, vclock.NewReal(), snet, opts)
+
+	d, err := newDeployment(name, db, snet, shards, opts, ckptPath)
 	if err != nil {
 		return err
 	}
-	defer dm.Close()
-	log.Printf("fleccd: directory manager %q serving %d flights on %s", name, flights, ln.Addr())
+	defer d.close()
+	log.Printf("fleccd: directory %q (%d shard(s)) serving %d flights on %s", name, shards, flights, ln.Addr())
 
 	checkpoint := func() {
 		if ckptPath == "" {
 			return
 		}
-		blob, err := directory.EncodeSnapshot(dm.Store().Snapshot())
-		if err != nil {
-			log.Printf("fleccd: snapshot: %v", err)
-			return
-		}
-		tmp := ckptPath + ".tmp"
-		if err := os.WriteFile(tmp, blob, 0o644); err != nil {
-			log.Printf("fleccd: checkpoint: %v", err)
-			return
-		}
-		if err := os.Rename(tmp, ckptPath); err != nil {
-			log.Printf("fleccd: checkpoint: %v", err)
+		for _, c := range d.checkpoints() {
+			blob, err := directory.EncodeSnapshot(c.snap)
+			if err != nil {
+				log.Printf("fleccd: snapshot: %v", err)
+				continue
+			}
+			tmp := c.path + ".tmp"
+			if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+				log.Printf("fleccd: checkpoint: %v", err)
+				continue
+			}
+			if err := os.Rename(tmp, c.path); err != nil {
+				log.Printf("fleccd: checkpoint: %v", err)
+			}
 		}
 	}
 	var ckptTick <-chan time.Time
@@ -120,9 +125,149 @@ func run(addr, name string, flights, capacity int, statusEvery time.Duration, ke
 		case <-ckptTick:
 			checkpoint()
 		case <-tick:
-			views := dm.Views()
-			log.Printf("fleccd: v%d, %d views registered %v, %d conflicts resolved",
-				dm.CurrentVersion(), len(views), views, dm.Store().ConflictsSeen())
+			log.Printf("fleccd: %s", d.status())
 		}
+	}
+}
+
+// deployment abstracts over the two daemon shapes: one directory manager
+// attached straight to the TCP server network, or a sharded service on a
+// bridge behind it.
+type deployment struct {
+	dm    *directory.Manager // single-DM mode
+	svc   *shard.Service     // sharded mode
+	brdg  *shard.Bridge
+	stats *metrics.MessageStats
+	ckpt  string
+}
+
+type checkpointUnit struct {
+	path string
+	snap *directory.Snapshot
+}
+
+func newDeployment(name string, db image.Codec, snet *transport.ServerNetwork, shards int, opts directory.Options, ckptPath string) (*deployment, error) {
+	d := &deployment{ckpt: ckptPath}
+	if shards == 1 {
+		if ckptPath != "" {
+			if snap, err := readCheckpoint(ckptPath); err != nil {
+				return nil, err
+			} else if snap != nil {
+				opts.Snapshot = snap
+				log.Printf("fleccd: restored checkpoint from %s (v%d)", ckptPath, snap.Version)
+			}
+		}
+		dm, err := directory.New(name, db, vclock.NewReal(), snet, opts)
+		if err != nil {
+			return nil, err
+		}
+		d.dm = dm
+		return d, nil
+	}
+
+	d.brdg = shard.NewBridge()
+	d.stats = metrics.NewMessageStats(false)
+	d.brdg.SetObserver(d.stats)
+	svc, err := shard.NewService(shard.ServiceConfig{
+		Name:  name,
+		Net:   d.brdg,
+		Clock: vclock.NewReal(),
+		// All shards extract from the one in-process database; the airline
+		// codec is mutex-guarded, so sharing it is safe.
+		Shards:  shards,
+		Primary: func(int) image.Codec { return db },
+		Opts:    opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.svc = svc
+	if ckptPath != "" {
+		for i := 0; i < shards; i++ {
+			path := shardCheckpointPath(ckptPath, i)
+			snap, err := readCheckpoint(path)
+			if err != nil {
+				svc.Close()
+				return nil, err
+			}
+			if snap == nil {
+				continue
+			}
+			if err := svc.Shard(i).Store().Restore(snap); err != nil {
+				svc.Close()
+				return nil, err
+			}
+			log.Printf("fleccd: restored shard %d checkpoint from %s (v%d)", i, path, snap.Version)
+		}
+	}
+	if err := d.brdg.ConnectUplink(snet, name); err != nil {
+		svc.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+func shardCheckpointPath(base string, i int) string {
+	return fmt.Sprintf("%s.s%d", base, i)
+}
+
+// readCheckpoint loads a snapshot file; a missing file is not an error
+// (cold start).
+func readCheckpoint(path string) (*directory.Snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	snap, err := directory.DecodeSnapshot(blob)
+	if err != nil {
+		return nil, fmt.Errorf("restore %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+func (d *deployment) checkpoints() []checkpointUnit {
+	if d.dm != nil {
+		return []checkpointUnit{{path: d.ckpt, snap: d.dm.Store().Snapshot()}}
+	}
+	out := make([]checkpointUnit, 0, d.svc.NumShards())
+	for i := 0; i < d.svc.NumShards(); i++ {
+		out = append(out, checkpointUnit{
+			path: shardCheckpointPath(d.ckpt, i),
+			snap: d.svc.Shard(i).Store().Snapshot(),
+		})
+	}
+	return out
+}
+
+func (d *deployment) status() string {
+	if d.dm != nil {
+		views := d.dm.Views()
+		return fmt.Sprintf("v%d, %d views registered %v, %d conflicts resolved",
+			d.dm.CurrentVersion(), len(views), views, d.dm.Store().ConflictsSeen())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d shards", d.svc.NumShards())
+	for i := 0; i < d.svc.NumShards(); i++ {
+		dm := d.svc.Shard(i)
+		fmt.Fprintf(&b, "; %s v%d %d views", shard.Node(d.svc.Name(), i), dm.CurrentVersion(), len(dm.Views()))
+	}
+	if per := d.stats.PerShardString(); per != "" {
+		fmt.Fprintf(&b, "; traffic %s", per)
+	}
+	return b.String()
+}
+
+func (d *deployment) close() {
+	if d.dm != nil {
+		d.dm.Close()
+	}
+	if d.brdg != nil {
+		d.brdg.Close()
+	}
+	if d.svc != nil {
+		d.svc.Close()
 	}
 }

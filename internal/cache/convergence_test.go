@@ -105,7 +105,7 @@ func runConvergenceTrial(t *testing.T, r *rand.Rand, trial int) {
 	}
 
 	// Every replica must now equal the primary on the shared keys.
-	primary, err := rig.dm.ExtractPrimary(cms[0].Base().Props)
+	primary, err := rig.dms()[0].ExtractPrimary(cms[0].Base().Props)
 	if err != nil {
 		t.Fatalf("trial %d: %v", trial, err)
 	}

@@ -84,9 +84,9 @@ func TestSeenDoesNotAdvanceOnPush(t *testing.T) {
 	if err := cm1.PushImage(); err != nil {
 		t.Fatal(err)
 	}
-	if cm1.Seen() >= r.dm.CurrentVersion() {
+	if cm1.Seen() >= r.dmFor("v1").CurrentVersion() {
 		t.Fatalf("seen = %d advanced past unobserved commits (current %d)",
-			cm1.Seen(), r.dm.CurrentVersion())
+			cm1.Seen(), r.dmFor("v1").CurrentVersion())
 	}
 	if err := cm1.PullImage(); err != nil {
 		t.Fatal(err)
@@ -320,8 +320,8 @@ func TestInvalidateBeforeInit(t *testing.T) {
 	// cleanly with an empty image.
 	v1 := newKV(nil)
 	v2 := newKV(nil)
-	_ = r.view(t, "v1", "P={x}", wire.Weak, v1) // never initialized
-	r.dm.Registry().SetActive("v1", true)       // simulate a stale active mark
+	_ = r.view(t, "v1", "P={x}", wire.Weak, v1)    // never initialized
+	r.dmFor("v1").Registry().SetActive("v1", true) // simulate a stale active mark
 	cm2 := r.view(t, "v2", "P={x}", wire.Strong, v2)
 	cm2.InitImage()
 	if err := cm2.PullImage(); err != nil {

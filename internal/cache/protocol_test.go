@@ -2,6 +2,8 @@ package cache_test
 
 import (
 	"errors"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -10,6 +12,7 @@ import (
 	"flecc/internal/image"
 	"flecc/internal/metrics"
 	"flecc/internal/property"
+	"flecc/internal/shard"
 	"flecc/internal/transport"
 	"flecc/internal/vclock"
 	"flecc/internal/wire"
@@ -72,13 +75,50 @@ func (v *kvView) Merge(img *image.Image, props property.Set) error {
 	return nil
 }
 
-// rig bundles a complete single-component deployment for tests.
+// rig bundles a complete single-component deployment for tests. With
+// FLECC_TEST_SHARDS=N (N > 1) in the environment the same suite runs
+// against a sharded directory service instead: the views still dial "dm"
+// with an unchanged configuration, but that name is now the shard router
+// and N shard managers named dm!s0..dm!s{N-1} hold the state between
+// them. Tests reach the manager serving a view through dmFor.
 type rig struct {
 	clock *vclock.Sim
 	net   *transport.Inproc
 	stats *metrics.MessageStats
 	prim  *kvView
-	dm    *directory.Manager
+	dm    *directory.Manager // single-DM mode
+	svc   *shard.Service     // sharded mode (FLECC_TEST_SHARDS > 1)
+}
+
+// testShards reports the FLECC_TEST_SHARDS override; 0 or 1 means the
+// plain single-DM rig.
+func testShards() int {
+	n, _ := strconv.Atoi(os.Getenv("FLECC_TEST_SHARDS"))
+	return n
+}
+
+// collapseShards rewrites shard-internal traffic so the suite's exact
+// message-count assertions hold verbatim in sharded mode: the
+// router→shard leg of each routed request is dropped (it mirrors the
+// client→router leg one-to-one), and shard-originated traffic to the
+// views (invalidates, updates) is attributed to the logical directory
+// name.
+type collapseShards struct{ inner transport.Observer }
+
+func (c collapseShards) OnMessage(from, to string, m *wire.Message) {
+	if base, _, ok := shard.IsNode(from); ok {
+		if base == to {
+			return
+		}
+		from = base
+	}
+	if base, _, ok := shard.IsNode(to); ok {
+		if base == from {
+			return
+		}
+		to = base
+	}
+	c.inner.OnMessage(from, to, m)
 }
 
 func newRig(t *testing.T, opts directory.Options) *rig {
@@ -89,6 +129,25 @@ func newRig(t *testing.T, opts directory.Options) *rig {
 		stats: metrics.NewMessageStats(false),
 		prim:  newKV(map[string]string{"seed": "s0"}),
 	}
+	if n := testShards(); n > 1 {
+		r.net.SetObserver(collapseShards{r.stats})
+		svc, err := shard.NewService(shard.ServiceConfig{
+			Name:  "dm",
+			Net:   r.net,
+			Clock: r.clock,
+			// The shards share the one primary; the kvView codec is
+			// mutex-guarded, so that is safe.
+			Shards:  n,
+			Primary: func(int) image.Codec { return r.prim },
+			Opts:    opts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { svc.Close() })
+		r.svc = svc
+		return r
+	}
 	r.net.SetObserver(r.stats)
 	dm, err := directory.New("dm", r.prim, r.clock, r.net, opts)
 	if err != nil {
@@ -96,6 +155,51 @@ func newRig(t *testing.T, opts directory.Options) *rig {
 	}
 	r.dm = dm
 	return r
+}
+
+// dmFor returns the directory manager serving the named view: the one
+// manager in the default rig, the owning shard in sharded mode.
+func (r *rig) dmFor(view string) *directory.Manager {
+	if r.svc == nil {
+		return r.dm
+	}
+	owner := r.svc.Router().Assignment()[view]
+	if _, i, ok := shard.IsNode(owner); ok {
+		return r.svc.Shard(i)
+	}
+	panic("rig: view " + view + " is not assigned to any shard")
+}
+
+// dms returns every directory manager in the rig, for operations that
+// must reach all shards (e.g. seeding the static conflict matrix before
+// views have registered anywhere).
+func (r *rig) dms() []*directory.Manager {
+	if r.svc == nil {
+		return []*directory.Manager{r.dm}
+	}
+	out := make([]*directory.Manager, r.svc.NumShards())
+	for i := range out {
+		out[i] = r.svc.Shard(i)
+	}
+	return out
+}
+
+// allViews returns the union of registered views across the deployment.
+func (r *rig) allViews() []string {
+	var out []string
+	for _, dm := range r.dms() {
+		out = append(out, dm.Views()...)
+	}
+	return out
+}
+
+// activeViews returns the union of active views across the deployment.
+func (r *rig) activeViews() []string {
+	var out []string
+	for _, dm := range r.dms() {
+		out = append(out, dm.ActiveViews()...)
+	}
+	return out
 }
 
 func (r *rig) view(t *testing.T, name, props string, mode wire.Mode, view *kvView, triggers ...string) *cache.Manager {
@@ -185,7 +289,7 @@ func TestPushPullRoundTrip(t *testing.T) {
 	if v2.Get("ticket") != "sold-to-alice" {
 		t.Fatal("pull should deliver the update")
 	}
-	if cm2.Seen() != r.dm.CurrentVersion() {
+	if cm2.Seen() != r.dmFor("v2").CurrentVersion() {
 		t.Fatal("seen version should advance")
 	}
 }
@@ -254,7 +358,7 @@ func TestStrongModeInvalidation(t *testing.T) {
 	if cm2.Valid() {
 		t.Fatal("V2 should now be invalidated (one active view in strong mode)")
 	}
-	active := r.dm.ActiveViews()
+	active := r.activeViews()
 	if len(active) != 1 || active[0] != "v1" {
 		t.Fatalf("active views = %v", active)
 	}
@@ -274,8 +378,8 @@ func TestStrongInvalidationSkipsNonConflicting(t *testing.T) {
 	if !cm1.Valid() {
 		t.Fatal("disjoint views must not invalidate each other")
 	}
-	if len(r.dm.ActiveViews()) != 2 {
-		t.Fatalf("both views should stay active: %v", r.dm.ActiveViews())
+	if len(r.activeViews()) != 2 {
+		t.Fatalf("both views should stay active: %v", r.activeViews())
 	}
 }
 
@@ -436,17 +540,17 @@ func TestQualityAccounting(t *testing.T) {
 		}
 	}
 	// v2 hasn't pulled since init: 3 committed remote ops unseen.
-	if got := r.dm.UnseenCommitted("v2"); got != 3 {
+	if got := r.dmFor("v2").UnseenCommitted("v2"); got != 3 {
 		t.Fatalf("unseen = %d, want 3", got)
 	}
 	// v1 wrote them itself: nothing unseen.
-	if got := r.dm.UnseenCommitted("v1"); got != 0 {
+	if got := r.dmFor("v1").UnseenCommitted("v1"); got != 0 {
 		t.Fatalf("unseen(v1) = %d, want 0", got)
 	}
 	if err := cm2.PullImage(); err != nil {
 		t.Fatal(err)
 	}
-	if got := r.dm.UnseenCommitted("v2"); got != 0 {
+	if got := r.dmFor("v2").UnseenCommitted("v2"); got != 0 {
 		t.Fatalf("unseen after pull = %d, want 0", got)
 	}
 }
@@ -464,7 +568,7 @@ func TestQualityPropsFiltered(t *testing.T) {
 	cm1.EndUse()
 	cm1.PushImage()
 	// v3's data is disjoint; the update must not count against it.
-	if got := r.dm.UnseenCommitted("v3"); got != 0 {
+	if got := r.dmFor("v3").UnseenCommitted("v3"); got != 0 {
 		t.Fatalf("unseen(v3) = %d, want 0", got)
 	}
 }
@@ -540,7 +644,7 @@ func TestModeSwitchAtRuntime(t *testing.T) {
 	if err := cm2.SetMode(wire.Strong); err != nil {
 		t.Fatal(err)
 	}
-	if cm2.Mode() != wire.Strong || r.dm.Mode("v2") != wire.Strong {
+	if cm2.Mode() != wire.Strong || r.dmFor("v2").Mode("v2") != wire.Strong {
 		t.Fatal("mode switch not recorded")
 	}
 	if err := cm2.PullImage(); err != nil {
@@ -615,8 +719,8 @@ func TestKillImagePushesPending(t *testing.T) {
 	if r.prim.Get("x") != "final-words" {
 		t.Fatal("kill should push pending changes")
 	}
-	if len(r.dm.Views()) != 0 {
-		t.Fatalf("views = %v", r.dm.Views())
+	if got := r.allViews(); len(got) != 0 {
+		t.Fatalf("views = %v", got)
 	}
 }
 
@@ -648,7 +752,9 @@ func TestDeletionsPropagate(t *testing.T) {
 func TestStaticMatrixOverridesDynamic(t *testing.T) {
 	r := newRig(t, directory.Options{})
 	// Force no-conflict statically even though properties overlap.
-	r.dm.Registry().SetStatic("v1", "v2", 0)
+	for _, dm := range r.dms() {
+		dm.Registry().SetStatic("v1", "v2", 0)
+	}
 	v1 := newKV(nil)
 	v2 := newKV(nil)
 	cm1 := r.view(t, "v1", "P={x}", wire.Strong, v1)
@@ -886,7 +992,7 @@ func TestPushPropagationDeliversUpdates(t *testing.T) {
 	if v2.Get("k") != "pushed-through" {
 		t.Fatal("propagation should reach conflicting views")
 	}
-	if cm2.Seen() != r.dm.CurrentVersion() {
+	if cm2.Seen() != r.dmFor("v2").CurrentVersion() {
 		t.Fatal("propagated view's seen should advance")
 	}
 	// ...the disjoint view was not contacted (push 2 + update 2 = 4).
@@ -897,7 +1003,7 @@ func TestPushPropagationDeliversUpdates(t *testing.T) {
 		t.Fatal("disjoint view must not receive the update")
 	}
 	// Quality: the recipient is fresh immediately.
-	if got := r.dm.UnseenCommitted("v2"); got != 0 {
+	if got := r.dmFor("v2").UnseenCommitted("v2"); got != 0 {
 		t.Fatalf("unseen = %d", got)
 	}
 }

@@ -177,6 +177,12 @@ func (m *Manager) handle(req *wire.Message) *wire.Message {
 		return m.handleSetMode(req)
 	case wire.TSetProps:
 		return m.handleSetProps(req)
+	case wire.TRouted:
+		return m.handleRouted(req)
+	case wire.TMigrateTake:
+		return m.handleMigrateTake(req)
+	case wire.TMigrateApply:
+		return m.handleMigrateApply(req)
 	default:
 		return errf("directory %s: unexpected message %s", m.name, req.Type)
 	}

@@ -1,0 +1,242 @@
+package directory
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"flecc/internal/property"
+	"flecc/internal/trigger"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+// Live shard migration (internal/shard) moves a set of views — and the
+// protocol metadata needed to keep serving them without version
+// regressions — from one directory manager to another. The mechanism
+// reuses the fail-over snapshot (snapshot.go): the source hands over its
+// full store metadata plus per-view records, the target absorbs them with
+// merge semantics, and the router re-points the views. Because the target
+// fast-forwards its version counter to at least the source's, a migrated
+// view can never observe a smaller primary version than it already saw.
+
+// HandoverView is the per-view protocol state a migration carries: the
+// registry entry plus the directory manager's viewState.
+type HandoverView struct {
+	// Name is the view's node name.
+	Name string
+	// Props is the view's current dynamic property set.
+	Props property.Set
+	// Mode is the view's consistency mode.
+	Mode wire.Mode
+	// Op is the op class of the view's most recent acquire/pull.
+	Op wire.OpClass
+	// Seen is the primary version the view last observed.
+	Seen vclock.Version
+	// Validity is the view's validity-trigger source text.
+	Validity string
+	// Active reports whether the view was active at handover.
+	Active bool
+}
+
+// Handover is the unit of live shard migration: the source store's full
+// metadata snapshot plus the records of the views being moved.
+type Handover struct {
+	// Snap is the source store's protocol-metadata snapshot. It may cover
+	// more keys than the handed-over views touch; Absorb merges it
+	// version-wise, so a superset is harmless.
+	Snap *Snapshot
+	// Views are the handed-over views.
+	Views []HandoverView
+}
+
+// TakeHandover captures a handover for the named views (all registered
+// views when names is empty) and stops serving them: the views are
+// unregistered and their state removed. It fails — without removing
+// anything — if any name is unknown.
+func (m *Manager) TakeHandover(names []string) (*Handover, error) {
+	if len(names) == 0 {
+		names = m.reg.Views()
+	}
+	h := &Handover{Snap: m.store.Snapshot()}
+	for _, n := range names {
+		m.mu.Lock()
+		vs, ok := m.views[n]
+		var rec HandoverView
+		if ok {
+			rec = HandoverView{
+				Name:     n,
+				Mode:     vs.mode,
+				Op:       vs.lastOp,
+				Seen:     vs.seen,
+				Validity: vs.validity.Source(),
+			}
+		}
+		m.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("directory %s: handover of unknown view %s", m.name, n)
+		}
+		props, _ := m.reg.Props(n)
+		rec.Props = props
+		rec.Active = m.reg.Active(n)
+		h.Views = append(h.Views, rec)
+	}
+	for _, n := range names {
+		m.reg.Unregister(n)
+		m.mu.Lock()
+		delete(m.views, n)
+		m.mu.Unlock()
+	}
+	return h, nil
+}
+
+// AbsorbHandover merges a handover into this (target) directory manager:
+// the store metadata is absorbed version-wise and every carried view is
+// registered with its previous mode, seen version, and triggers.
+func (m *Manager) AbsorbHandover(h *Handover) error {
+	if h == nil || h.Snap == nil {
+		return fmt.Errorf("directory %s: nil handover", m.name)
+	}
+	if err := m.store.Absorb(h.Snap); err != nil {
+		return err
+	}
+	for _, hv := range h.Views {
+		val, err := trigger.Compile(hv.Validity)
+		if err != nil {
+			return fmt.Errorf("directory %s: handover validity trigger for %s: %v", m.name, hv.Name, err)
+		}
+		if err := m.reg.Register(hv.Name, hv.Props); err != nil {
+			// Already present (e.g. a replayed migration): refresh props.
+			if err := m.reg.SetProps(hv.Name, hv.Props); err != nil {
+				return fmt.Errorf("directory %s: absorb %s: %w", m.name, hv.Name, err)
+			}
+		}
+		m.reg.SetActive(hv.Name, hv.Active)
+		m.mu.Lock()
+		m.views[hv.Name] = &viewState{
+			name: hv.Name, mode: hv.Mode, seen: hv.Seen, validity: val, lastOp: hv.Op,
+		}
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// Absorb merges a snapshot into a live store, in contrast to Restore which
+// replaces. Shadow entries keep the newer version per key, the
+// version-ordered logs are merged, and the counter only fast-forwards —
+// it never goes back, which is what rules out version regressions across
+// a migration.
+func (s *Store) Absorb(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("directory: nil snapshot")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range snap.Shadow {
+		if cur, ok := s.shadow[r.Key]; !ok || cur.version < r.Version {
+			s.shadow[r.Key] = shadowEntry{version: r.Version, writer: r.Writer, deleted: r.Deleted}
+		}
+	}
+	merged := make([]UpdateRec, 0, len(s.log)+len(snap.Log))
+	i, j := 0, 0
+	for i < len(s.log) && j < len(snap.Log) {
+		if s.log[i].Version <= snap.Log[j].Version {
+			merged = append(merged, s.log[i])
+			i++
+		} else {
+			merged = append(merged, snap.Log[j])
+			j++
+		}
+	}
+	merged = append(merged, s.log[i:]...)
+	merged = append(merged, snap.Log[j:]...)
+	s.log = merged
+	for s.counter.Current() < snap.Version {
+		s.counter.Next()
+	}
+	return nil
+}
+
+// EncodeHandover serializes a handover (gob).
+func EncodeHandover(h *Handover) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+		return nil, fmt.Errorf("directory: encode handover: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeHandover parses EncodeHandover's output.
+func DecodeHandover(b []byte) (*Handover, error) {
+	var h Handover
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&h); err != nil {
+		return nil, fmt.Errorf("directory: decode handover: %w", err)
+	}
+	return &h, nil
+}
+
+// EncodeViewList serializes the view-name list a TMigrateTake carries.
+func EncodeViewList(names []string) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(names); err != nil {
+		return nil, fmt.Errorf("directory: encode view list: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeViewList parses EncodeViewList's output. A nil blob is the empty
+// list ("all views").
+func DecodeViewList(b []byte) ([]string, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	var names []string
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&names); err != nil {
+		return nil, fmt.Errorf("directory: decode view list: %w", err)
+	}
+	return names, nil
+}
+
+// handleRouted unwraps a router→shard envelope and dispatches the inner
+// message as if the originating view had called directly.
+func (m *Manager) handleRouted(req *wire.Message) *wire.Message {
+	inner, err := wire.Decode(req.Blob)
+	if err != nil {
+		return errf("directory %s: bad routed payload: %v", m.name, err)
+	}
+	switch inner.Type {
+	case wire.TRouted, wire.TMigrateTake, wire.TMigrateApply:
+		return errf("directory %s: refusing nested %s inside routed envelope", m.name, inner.Type)
+	}
+	if req.View != "" {
+		inner.From = req.View
+	}
+	return m.handle(inner)
+}
+
+func (m *Manager) handleMigrateTake(req *wire.Message) *wire.Message {
+	names, err := DecodeViewList(req.Blob)
+	if err != nil {
+		return errf("%v", err)
+	}
+	h, err := m.TakeHandover(names)
+	if err != nil {
+		return errf("%v", err)
+	}
+	blob, err := EncodeHandover(h)
+	if err != nil {
+		return errf("%v", err)
+	}
+	return &wire.Message{Type: wire.TAck, Version: m.store.Current(), Blob: blob}
+}
+
+func (m *Manager) handleMigrateApply(req *wire.Message) *wire.Message {
+	h, err := DecodeHandover(req.Blob)
+	if err != nil {
+		return errf("%v", err)
+	}
+	if err := m.AbsorbHandover(h); err != nil {
+		return errf("%v", err)
+	}
+	return &wire.Message{Type: wire.TAck, Version: m.store.Current()}
+}

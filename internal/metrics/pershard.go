@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Per-shard traffic breakdown for the sharded directory service
+// (internal/shard). Shard directory managers attach under names of the
+// form "<base>!s<index>" (shard.Node); every edge that touches such a
+// node is attributed to it, which turns the flat edge counts into a
+// per-shard load profile — the measurement behind the 1-vs-N shard
+// comparisons in EXPERIMENTS.md.
+
+// ShardOf extracts the shard node from a node name following the
+// "<base>!s<index>" convention; ok is false for ordinary nodes.
+func ShardOf(node string) (string, bool) {
+	cut := strings.LastIndex(node, "!s")
+	if cut < 0 || cut+2 == len(node) {
+		return "", false
+	}
+	for _, c := range node[cut+2:] {
+		if c < '0' || c > '9' {
+			return "", false
+		}
+	}
+	return node, true
+}
+
+// PerShard aggregates the per-edge counts by shard: each edge whose
+// destination is a shard node counts toward that shard, otherwise an edge
+// whose source is a shard node counts toward that one. Edges touching no
+// shard node (e.g. router→client replies) are ignored. The result maps
+// shard node names to message counts.
+func (s *MessageStats) PerShard() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int64{}
+	for edge, n := range s.byEdge {
+		arrow := strings.Index(edge, "->")
+		if arrow < 0 {
+			continue
+		}
+		from, to := edge[:arrow], edge[arrow+2:]
+		if shard, ok := ShardOf(to); ok {
+			out[shard] += n
+		} else if shard, ok := ShardOf(from); ok {
+			out[shard] += n
+		}
+	}
+	return out
+}
+
+// PerShardString renders the PerShard breakdown deterministically, e.g.
+// "dm!s0:42 dm!s1:17".
+func (s *MessageStats) PerShardString() string {
+	per := s.PerShard()
+	keys := make([]string, 0, len(per))
+	for k := range per {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + ":" + strconv.FormatInt(per[k], 10)
+	}
+	return strings.Join(parts, " ")
+}

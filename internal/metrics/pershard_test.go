@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"testing"
+
+	"flecc/internal/wire"
+)
+
+func TestShardOf(t *testing.T) {
+	cases := []struct {
+		node string
+		ok   bool
+	}{
+		{"dm!s0", true},
+		{"dm!s12", true},
+		{"dm", false},
+		{"dm!s", false},
+		{"dm!sx", false},
+		{"dm!s1x", false},
+		{"v1", false},
+	}
+	for _, c := range cases {
+		got, ok := ShardOf(c.node)
+		if ok != c.ok {
+			t.Fatalf("ShardOf(%q) ok = %v, want %v", c.node, ok, c.ok)
+		}
+		if ok && got != c.node {
+			t.Fatalf("ShardOf(%q) = %q", c.node, got)
+		}
+	}
+}
+
+func TestPerShard(t *testing.T) {
+	s := NewMessageStats(false)
+	msg := &wire.Message{Type: wire.TPull}
+	// Client traffic to two shards, in both directions, plus traffic that
+	// touches no shard node at all.
+	s.OnMessage("v1", "dm!s0", msg) // request to shard 0
+	s.OnMessage("dm!s0", "v1", msg) // its reply
+	s.OnMessage("v2", "dm!s1", msg)
+	s.OnMessage("v2", "dm!s1", msg)
+	s.OnMessage("dm!s1", "v2", msg)
+	s.OnMessage("v1", "dm", msg) // router edge: no shard involved
+	s.OnMessage("dm", "v1", msg)
+
+	per := s.PerShard()
+	if len(per) != 2 {
+		t.Fatalf("PerShard = %v", per)
+	}
+	if per["dm!s0"] != 2 {
+		t.Fatalf("dm!s0 = %d, want 2", per["dm!s0"])
+	}
+	if per["dm!s1"] != 3 {
+		t.Fatalf("dm!s1 = %d, want 3", per["dm!s1"])
+	}
+	if got, want := s.PerShardString(), "dm!s0:2 dm!s1:3"; got != want {
+		t.Fatalf("PerShardString = %q, want %q", got, want)
+	}
+	// Shard-to-shard traffic counts once, toward the destination.
+	s.OnMessage("dm!s0", "dm!s1", msg)
+	if per := s.PerShard(); per["dm!s1"] != 4 || per["dm!s0"] != 2 {
+		t.Fatalf("after shard-to-shard edge: %v", per)
+	}
+}

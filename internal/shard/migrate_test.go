@@ -1,0 +1,217 @@
+package shard_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"flecc/internal/cache"
+	"flecc/internal/directory"
+	"flecc/internal/shard"
+	"flecc/internal/wire"
+)
+
+// TestLiveMigrationPreservesState grows a 1-shard service to 2 and moves
+// every view across, then checks nothing was lost: assignments point at
+// the new shard, seen versions did not regress, and the protocol keeps
+// working end to end.
+func TestLiveMigrationPreservesState(t *testing.T) {
+	r := newRig(t, 1, directory.Options{})
+	v1, v2 := newKV(nil), newKV(nil)
+	cm1 := r.view("v1", "P={x}", wire.Weak, v1)
+	cm2 := r.view("v2", "P={x}", wire.Weak, v2)
+	if err := cm1.InitImage(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm2.InitImage(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm1.StartUse(); err != nil {
+		t.Fatal(err)
+	}
+	v1.Set("booked", "before-migration")
+	cm1.EndUse()
+	if err := cm1.PushImage(); err != nil {
+		t.Fatal(err)
+	}
+	// Pull so the directory-side seen version advances (it tracks what the
+	// view observed, which a push alone does not change).
+	if err := cm1.PullImage(); err != nil {
+		t.Fatal(err)
+	}
+
+	src := shard.Node("dm", 0)
+	seenBefore := r.svc.Seen("v1")
+	verBefore := r.svc.Shard(0).CurrentVersion()
+	if seenBefore == 0 || verBefore == 0 {
+		t.Fatalf("expected progress before migration (seen=%d ver=%d)", seenBefore, verBefore)
+	}
+
+	dst, err := r.svc.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Migrate(src, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	// Assignments moved, the source shard serves nothing anymore.
+	for _, v := range []string{"v1", "v2"} {
+		if got := r.owner(v); got != dst {
+			t.Fatalf("%s assigned to %s after migration, want %s", v, got, dst)
+		}
+	}
+	if n := len(r.svc.Shard(0).Views()); n != 0 {
+		t.Fatalf("source shard still serves %d views", n)
+	}
+	if got := r.svc.Shard(1).Views(); len(got) != 2 {
+		t.Fatalf("target shard serves %v", got)
+	}
+
+	// No version regression: the target's counter is at least the
+	// source's, and the view's seen version survived the move.
+	if after := r.svc.Shard(1).CurrentVersion(); after < verBefore {
+		t.Fatalf("target version %d < source version %d", after, verBefore)
+	}
+	if seen := r.svc.Seen("v1"); seen < seenBefore {
+		t.Fatalf("seen regressed across migration: %d -> %d", seenBefore, seen)
+	}
+
+	// The protocol keeps working against the new shard, transparently.
+	if err := cm2.PullImage(); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Get("booked") != "before-migration" {
+		t.Fatal("pre-migration update lost")
+	}
+	if err := cm1.StartUse(); err != nil {
+		t.Fatal(err)
+	}
+	v1.Set("booked2", "after-migration")
+	cm1.EndUse()
+	if err := cm1.PushImage(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm2.PullImage(); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Get("booked2") != "after-migration" {
+		t.Fatal("post-migration update lost")
+	}
+	if vv := r.svc.Versions(); vv.Get(dst) < uint64(verBefore) {
+		t.Fatalf("router vector regressed: %v (source was at %d)", vv, verBefore)
+	}
+}
+
+// TestMigrationUnderLoad is the live-migration soak: agents push and pull
+// concurrently while the service grows from 1 to 2 shards and every view
+// migrates. Afterwards no acknowledged update may be missing and no
+// agent may ever have observed its seen version go backwards.
+func TestMigrationUnderLoad(t *testing.T) {
+	r := newRig(t, 1, directory.Options{})
+	const agents = 4
+	const rounds = 25
+
+	views := make([]*kv, agents)
+	cms := make([]*cache.Manager, agents)
+	for i := 0; i < agents; i++ {
+		views[i] = newKV(nil)
+		cm := r.view(fmt.Sprintf("agent%d", i), "P={x}", wire.Weak, views[i])
+		if err := cm.InitImage(); err != nil {
+			t.Fatal(err)
+		}
+		cms[i] = cm
+	}
+
+	var (
+		mu    sync.Mutex
+		acked []string // keys whose push was acknowledged
+	)
+	halfway := make(chan struct{})
+	var halfOnce sync.Once
+
+	var wg sync.WaitGroup
+	errs := make(chan error, agents)
+	for i := 0; i < agents; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cm, view := cms[i], views[i]
+			lastSeen := cm.Seen()
+			for round := 0; round < rounds; round++ {
+				if i == 0 && round == rounds/2 {
+					halfOnce.Do(func() { close(halfway) })
+				}
+				key := fmt.Sprintf("agent%d-round%d", i, round)
+				if err := cm.StartUse(); err != nil {
+					errs <- fmt.Errorf("agent%d start: %w", i, err)
+					return
+				}
+				view.Set(key, "booked")
+				cm.EndUse()
+				if err := cm.PushImage(); err != nil {
+					errs <- fmt.Errorf("agent%d push: %w", i, err)
+					return
+				}
+				mu.Lock()
+				acked = append(acked, key)
+				mu.Unlock()
+				if err := cm.PullImage(); err != nil {
+					errs <- fmt.Errorf("agent%d pull: %w", i, err)
+					return
+				}
+				if s := cm.Seen(); s < lastSeen {
+					errs <- fmt.Errorf("agent%d seen regressed %d -> %d", i, lastSeen, s)
+					return
+				} else {
+					lastSeen = s
+				}
+			}
+		}(i)
+	}
+
+	// Grow 1 -> 2 while the agents hammer the service.
+	<-halfway
+	dst, err := r.svc.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Migrate(shard.Node("dm", 0), dst); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every view migrated.
+	for v, s := range r.svc.Router().Assignment() {
+		if s != dst {
+			t.Fatalf("view %s still on %s after migration", v, s)
+		}
+	}
+
+	// Quiesce: one final pull each, then every acknowledged update must be
+	// visible in the primary and in every agent's view.
+	for i := 0; i < agents; i++ {
+		if err := cms[i].PullImage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(acked) != agents*rounds {
+		t.Fatalf("only %d of %d pushes were acknowledged", len(acked), agents*rounds)
+	}
+	for _, key := range acked {
+		if r.prim.Get(key) != "booked" {
+			t.Fatalf("acked update %s missing from the primary", key)
+		}
+		for i := 0; i < agents; i++ {
+			if views[i].Get(key) != "booked" {
+				t.Fatalf("acked update %s missing from agent%d after final pull", key, i)
+			}
+		}
+	}
+}

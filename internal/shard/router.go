@@ -1,0 +1,376 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"flecc/internal/directory"
+	"flecc/internal/property"
+	"flecc/internal/transport"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+// Router is the single logical directory endpoint in front of a set of
+// shard directory managers. It attaches to the network under the
+// directory's public name, so cache managers keep dialing "the directory"
+// unchanged; each request is placed on its owning shard (sticky per
+// view), wrapped in a TRouted envelope so the shard sees the originating
+// view as the caller, and forwarded. The router never interprets protocol
+// semantics — conflicts, modes, and triggers stay inside the shard
+// directory managers — it only places views and merges the version
+// metadata it observes into a per-shard vclock.Vector.
+//
+// Placement precedence for a registering view:
+//
+//  1. the Map's pin table (first pin whose property overlaps the view's),
+//  2. conflict affinity: co-locate with an already-assigned view whose
+//     property set overlaps (so dynConfl checks stay shard-local),
+//  3. the consistent-hash ring over the canonical property-set string
+//     (the view name when the set is empty).
+//
+// Migrate moves assigned views between shards at run time; while a
+// migration freezes a shard, routed calls to it block (queue) and resume
+// against the post-migration assignment, so callers observe only added
+// latency, never an outage.
+type Router struct {
+	name string
+	m    *Map
+	ep   transport.Endpoint
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	assign   map[string]string       // view -> owning shard
+	vprops   map[string]property.Set // view -> last known property set
+	inflight map[string]int          // shard -> routed calls in flight
+	frozen   map[string]bool         // shard -> migration freeze
+	vv       vclock.Vector           // shard -> highest primary version observed
+	closed   bool
+}
+
+// NewRouter attaches a router under the logical directory name. The map's
+// member shards must be (or become) attached to the same network under
+// their Node names.
+func NewRouter(net transport.Network, name string, m *Map) (*Router, error) {
+	if m == nil {
+		return nil, fmt.Errorf("shard: nil map")
+	}
+	r := &Router{
+		name:     name,
+		m:        m,
+		assign:   map[string]string{},
+		vprops:   map[string]property.Set{},
+		inflight: map[string]int{},
+		frozen:   map[string]bool{},
+		vv:       vclock.NewVector(),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	ep, err := net.Attach(name, r.route)
+	if err != nil {
+		return nil, err
+	}
+	r.ep = ep
+	return r, nil
+}
+
+// Name returns the logical directory name the router answers under.
+func (r *Router) Name() string { return r.name }
+
+// Map returns the router's shard map.
+func (r *Router) Map() *Map { return r.m }
+
+// Close detaches the router endpoint and wakes any waiters.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return r.ep.Close()
+}
+
+// routable reports whether a cache-manager request type may cross the
+// router. Everything else (replies, DM→CM traffic, migration control) is
+// refused — the router is strictly the CM→DM half of the star.
+func routable(t wire.Type) bool {
+	switch t {
+	case wire.TRegister, wire.TUnregister, wire.TInit, wire.TPull, wire.TPush,
+		wire.TAcquire, wire.TRelease, wire.TSetMode, wire.TSetProps:
+		return true
+	}
+	return false
+}
+
+func errf(format string, args ...any) *wire.Message {
+	return &wire.Message{Type: wire.TErr, Err: fmt.Sprintf(format, args...)}
+}
+
+// route is the router's transport handler.
+func (r *Router) route(req *wire.Message) *wire.Message {
+	if !routable(req.Type) {
+		return errf("shard router %s: %s is not routable", r.name, req.Type)
+	}
+	view := req.View
+	if view == "" {
+		view = req.From
+	}
+	if view == "" {
+		return errf("shard router %s: %s without a view identity", r.name, req.Type)
+	}
+
+	// The envelope is built before acquiring the routing slot: handlers
+	// must not retain req after returning, so capture it now.
+	inner := *req
+	inner.From = view
+	blob := wire.Encode(&inner)
+
+	shard, err := r.acquire(view, req.Type, req.Props)
+	if err != nil {
+		return errf("%v", err)
+	}
+	env := &wire.Message{Type: wire.TRouted, View: view, Blob: blob}
+	reply, callErr := r.ep.Call(shard, env)
+	r.release(shard)
+
+	if reply == nil {
+		return errf("shard router %s: shard %s unreachable: %v", r.name, shard, callErr)
+	}
+	r.observe(shard, view, req, reply)
+	return reply
+}
+
+// acquire blocks while the owning shard is frozen, then claims a routing
+// slot on it and returns it. Registration placement happens here (under
+// the lock) so two concurrently registering, conflicting views settle on
+// the same shard.
+func (r *Router) acquire(view string, t wire.Type, props property.Set) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return "", fmt.Errorf("shard router %s: closed", r.name)
+		}
+		shard, ok := r.assign[view]
+		if !ok {
+			if t != wire.TRegister {
+				return "", fmt.Errorf("shard router %s: %s for unknown view %s", r.name, t, view)
+			}
+			shard = r.placeLocked(view, props)
+			if shard == "" {
+				return "", fmt.Errorf("shard router %s: no shards", r.name)
+			}
+		}
+		if !r.frozen[shard] {
+			if !ok {
+				// Record the placement now so concurrent registrations of
+				// conflicting views see it; rolled back if the shard refuses.
+				r.assign[view] = shard
+				r.vprops[view] = props.Clone()
+			}
+			r.inflight[shard]++
+			return shard, nil
+		}
+		// Frozen for migration: wait and re-resolve — the view may be owned
+		// by a different shard when we wake.
+		r.cond.Wait()
+	}
+}
+
+// release returns a routing slot and wakes migration waiters when the
+// shard drains.
+func (r *Router) release(shard string) {
+	r.mu.Lock()
+	r.inflight[shard]--
+	if r.inflight[shard] <= 0 {
+		delete(r.inflight, shard)
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// placeLocked decides the shard for a registering view. Caller holds mu.
+func (r *Router) placeLocked(view string, props property.Set) string {
+	if shard, ok := r.m.RouteProps(props); ok {
+		return shard
+	}
+	if !props.IsEmpty() {
+		// Conflict affinity: views whose property sets overlap must share a
+		// shard, because the directory manager's dynConfl check only sees
+		// its own registry. Deterministic: scan assigned views in name order.
+		names := make([]string, 0, len(r.assign))
+		for v := range r.assign {
+			names = append(names, v)
+		}
+		sort.Strings(names)
+		for _, v := range names {
+			if r.vprops[v].Overlaps(props) {
+				return r.assign[v]
+			}
+		}
+	}
+	key := props.String()
+	if key == "" {
+		key = view
+	}
+	return r.m.Owner(key)
+}
+
+// observe folds a reply's version metadata into the per-shard vector and
+// maintains the assignment table on lifecycle messages.
+func (r *Router) observe(shard, view string, req, reply *wire.Message) {
+	v := reply.Version
+	if reply.Img != nil && reply.Img.Version > v {
+		v = reply.Img.Version
+	}
+	failed := reply.Type == wire.TErr
+	r.mu.Lock()
+	if uint64(v) > r.vv[shard] {
+		r.vv[shard] = uint64(v)
+	}
+	switch req.Type {
+	case wire.TRegister:
+		if failed {
+			// acquire recorded the tentative placement; drop it so a retry
+			// re-places cleanly.
+			delete(r.assign, view)
+			delete(r.vprops, view)
+		}
+	case wire.TUnregister:
+		if !failed {
+			delete(r.assign, view)
+			delete(r.vprops, view)
+		}
+	case wire.TSetProps:
+		if !failed {
+			// The view keeps its shard (assignments are sticky); record the
+			// new set so future conflict-affinity placements see it. Domains
+			// whose views change properties across shard boundaries should
+			// be pinned instead.
+			r.vprops[view] = req.Props.Clone()
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Versions returns a copy of the per-shard version vector: for each shard
+// node, the highest primary version the router has observed from it.
+// Components never decrease — a regression would mean a migration lost
+// updates.
+func (r *Router) Versions() vclock.Vector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.vv.Clone()
+}
+
+// Assignment returns a copy of the view→shard table.
+func (r *Router) Assignment() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.assign))
+	for v, s := range r.assign {
+		out[v] = s
+	}
+	return out
+}
+
+// AssignedTo returns the sorted views owned by a shard.
+func (r *Router) AssignedTo(shard string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for v, s := range r.assign {
+		if s == shard {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Migrate moves views (all of from's views when none are named) from one
+// shard directory manager to another, live. Both shards are frozen —
+// routed calls to them queue — until the handover completes; calls to
+// other shards proceed throughout. The handover reuses the directory
+// manager's fail-over snapshot: TMigrateTake captures the source's store
+// metadata and per-view records, TMigrateApply absorbs them on the
+// target, and absorption only fast-forwards the target's version counter,
+// which Migrate verifies (the target must report a version >= the
+// source's at handover, else updates were lost).
+func (r *Router) Migrate(from, to string, views ...string) error {
+	if from == to {
+		return fmt.Errorf("shard router %s: migrate %s onto itself", r.name, from)
+	}
+	if !r.m.Has(from) || !r.m.Has(to) {
+		return fmt.Errorf("shard router %s: migrate %s -> %s: both must be member shards", r.name, from, to)
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("shard router %s: closed", r.name)
+	}
+	if r.frozen[from] || r.frozen[to] {
+		r.mu.Unlock()
+		return fmt.Errorf("shard router %s: migration already in progress on %s or %s", r.name, from, to)
+	}
+	r.frozen[from], r.frozen[to] = true, true
+	for r.inflight[from] > 0 || r.inflight[to] > 0 {
+		r.cond.Wait()
+	}
+	if len(views) == 0 {
+		for v, s := range r.assign {
+			if s == from {
+				views = append(views, v)
+			}
+		}
+		sort.Strings(views)
+	}
+	r.mu.Unlock()
+
+	err := r.handover(from, to, views)
+
+	r.mu.Lock()
+	if err == nil {
+		for _, v := range views {
+			r.assign[v] = to
+		}
+	}
+	delete(r.frozen, from)
+	delete(r.frozen, to)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return err
+}
+
+// handover performs the take/apply exchange. Both shards are frozen and
+// drained; no router traffic can race with it.
+func (r *Router) handover(from, to string, views []string) error {
+	blob, err := directory.EncodeViewList(views)
+	if err != nil {
+		return err
+	}
+	takeReply, err := r.ep.Call(from, &wire.Message{Type: wire.TMigrateTake, Blob: blob})
+	if err != nil {
+		return fmt.Errorf("shard router %s: take from %s: %w", r.name, from, err)
+	}
+	applyReply, err := r.ep.Call(to, &wire.Message{Type: wire.TMigrateApply, Blob: takeReply.Blob})
+	if err != nil {
+		// The source no longer serves the views; put them back so they are
+		// not stranded.
+		if _, rbErr := r.ep.Call(from, &wire.Message{Type: wire.TMigrateApply, Blob: takeReply.Blob}); rbErr != nil {
+			return fmt.Errorf("shard router %s: apply on %s failed (%v) and rollback to %s failed: %w",
+				r.name, to, err, from, rbErr)
+		}
+		return fmt.Errorf("shard router %s: apply on %s: %w", r.name, to, err)
+	}
+	if applyReply.Version < takeReply.Version {
+		return fmt.Errorf("shard router %s: version regression migrating %s -> %s: source at %d, target at %d",
+			r.name, from, to, takeReply.Version, applyReply.Version)
+	}
+	r.mu.Lock()
+	if uint64(applyReply.Version) > r.vv[to] {
+		r.vv[to] = uint64(applyReply.Version)
+	}
+	r.mu.Unlock()
+	return nil
+}

@@ -65,6 +65,20 @@ func (p *peer) readLoop() {
 				p.onFirstMessage(m.From, p)
 			}
 		})
+		if m.Type == wire.THello {
+			// Connection handshake: answered here, never dispatched to the
+			// handler. The ack tells the dialer it reached a live peer (a
+			// dead process behind a live listener socket would leave the
+			// hello unanswered and trip the dialer's deadline).
+			p.writeMu.Lock()
+			err := wire.WriteFrame(p.conn, &wire.Message{Type: wire.THelloAck, Seq: m.Seq, From: p.name})
+			p.writeMu.Unlock()
+			if err != nil {
+				p.shutdown(err)
+				return
+			}
+			continue
+		}
 		if m.IsReply() {
 			p.mu.Lock()
 			ch, ok := p.pending[m.Seq]
@@ -370,13 +384,44 @@ type Client struct {
 }
 
 // Dial connects to a Server at addr as node name. The handler serves
-// server-initiated requests. timeout bounds calls (0 = no timeout).
+// server-initiated requests. timeout bounds calls as well as connection
+// establishment — both the TCP dial and the hello handshake (0 = no
+// timeout). The handshake matters: a listener whose process is wedged (or
+// a backlogged socket nobody accepts on) completes the TCP connect just
+// fine, so only an application-level ack proves there is a live peer.
 func Dial(addr, name string, h Handler, timeout time.Duration) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
+	if err := handshake(conn, name, timeout); err != nil {
+		conn.Close()
+		return nil, err
+	}
 	return DialConn(conn, name, h, timeout), nil
+}
+
+// handshake announces the dialer's node name with THello and waits for
+// the peer's THelloAck, bounded by timeout. It runs before the client's
+// read loop starts, so the frames are exchanged synchronously on conn.
+func handshake(conn net.Conn, name string, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("transport: handshake deadline: %w", err)
+		}
+		defer conn.SetDeadline(time.Time{})
+	}
+	if err := wire.WriteFrame(conn, &wire.Message{Type: wire.THello, From: name}); err != nil {
+		return fmt.Errorf("transport: handshake with %s: %w", conn.RemoteAddr(), err)
+	}
+	reply, err := wire.ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("transport: handshake with %s: %w", conn.RemoteAddr(), err)
+	}
+	if reply.Type != wire.THelloAck {
+		return fmt.Errorf("transport: handshake with %s: unexpected %s", conn.RemoteAddr(), reply.Type)
+	}
+	return nil
 }
 
 // DialConn builds a client over an already-established connection — e.g.

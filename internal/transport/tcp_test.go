@@ -240,3 +240,65 @@ func TestDialFailure(t *testing.T) {
 		t.Fatal("dial to closed port should fail")
 	}
 }
+
+// TestDialTimeoutAgainstNonAcceptingListener covers the failure mode the
+// hello handshake exists for: a listening socket whose owner never
+// accepts. The kernel completes the TCP connect (backlog), so only the
+// unanswered hello reveals that nothing is serving — Dial must give up
+// within its timeout instead of hanging.
+func TestDialTimeoutAgainstNonAcceptingListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Deliberately never ln.Accept().
+
+	start := time.Now()
+	c, err := Dial(ln.Addr().String(), "v1", nil, 200*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		c.Close()
+		t.Fatal("Dial should fail against a non-accepting listener")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("Dial took %v; the timeout did not bound the handshake", elapsed)
+	}
+}
+
+// TestDialHandshake checks the happy path: the hello is answered by the
+// peer read loop and teaches the server the client's name before any
+// protocol message flows, so server-initiated calls work immediately.
+func TestDialHandshake(t *testing.T) {
+	s := newTestServer(t, func(req *wire.Message) *wire.Message {
+		return &wire.Message{Type: wire.TAck}
+	})
+	got := make(chan *wire.Message, 1)
+	c, err := Dial(s.Addr().String(), "v1", func(req *wire.Message) *wire.Message {
+		got <- req
+		return &wire.Message{Type: wire.TAck}
+	}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The handshake alone must register the client with the server.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if names := s.Clients(); len(names) == 1 && names[0] == "v1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server clients = %v, want [v1]", s.Clients())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := s.Call("v1", &wire.Message{Type: wire.TInvalidate, View: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	req := <-got
+	if req.Type != wire.TInvalidate {
+		t.Fatalf("client saw %s", req.Type)
+	}
+}

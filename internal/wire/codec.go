@@ -21,7 +21,8 @@ const (
 	// against corrupted length prefixes.
 	maxFrame = 16 << 20
 	// codecVersion is bumped on incompatible format changes.
-	codecVersion = 1
+	// v2 appended the Blob payload (routed/migration traffic).
+	codecVersion = 2
 )
 
 type encoder struct{ buf []byte }
@@ -145,6 +146,7 @@ func Encode(m *Message) []byte {
 		e.bool(true)
 		encodeImage(e, m.Img)
 	}
+	e.bytes(m.Blob)
 	e.str(m.Err)
 	return e.buf
 }
@@ -205,6 +207,7 @@ func Decode(b []byte) (*Message, error) {
 		}
 		m.Img = im
 	}
+	m.Blob = d.bytes()
 	m.Err = d.str()
 	if d.err != nil {
 		return nil, d.err

@@ -67,6 +67,31 @@ const (
 	TImage
 	// TErr is a failure reply; Err holds the message.
 	TErr
+
+	// --- sharded directory service (internal/shard) ---
+
+	// TRouted is the router→shard envelope: View names the originating
+	// view and Blob carries the encoded inner request. The shard directory
+	// manager unwraps it and dispatches the inner message as if the view
+	// had called it directly.
+	TRouted
+	// TMigrateTake asks a shard directory manager to hand over its
+	// protocol metadata (directory.Handover) for the views listed in Blob
+	// (all its views when the list is empty) and to stop serving them.
+	TMigrateTake
+	// TMigrateApply delivers a directory.Handover (in Blob) to the target
+	// shard, which absorbs the metadata and starts serving the views.
+	TMigrateApply
+
+	// --- transport-level handshake ---
+
+	// THello is the connection handshake: a dialing client announces its
+	// node name and waits for THelloAck before issuing calls. The peer
+	// read loop answers it directly (no handler involved), which bounds
+	// connection establishment against dead or non-accepting listeners.
+	THello
+	// THelloAck acknowledges THello.
+	THelloAck
 )
 
 var typeNames = map[Type]string{
@@ -85,6 +110,12 @@ var typeNames = map[Type]string{
 	TAck:        "ack",
 	TImage:      "image",
 	TErr:        "err",
+
+	TRouted:       "routed",
+	TMigrateTake:  "migrate-take",
+	TMigrateApply: "migrate-apply",
+	THello:        "hello",
+	THelloAck:     "hello-ack",
 }
 
 func (t Type) String() string {
@@ -173,6 +204,10 @@ type Message struct {
 	// Img carries an object image (TPush, TImage, TUpdate, TInvalidate
 	// replies).
 	Img *image.Image
+	// Blob carries an opaque nested payload: the encoded inner message for
+	// TRouted, the encoded view-name list for TMigrateTake, and the encoded
+	// directory.Handover for TMigrateApply (and TMigrateTake's TAck reply).
+	Blob []byte
 	// Err is the error text for TErr.
 	Err string
 }

@@ -34,6 +34,7 @@ func sampleMessage() *Message {
 		Props:   property.MustSet("Flights={100..102}; Seats=[0,400]"),
 		Trig:    Triggers{Push: "(t > 1500)", Pull: "every(500)", Validity: "t > 0"},
 		Img:     sampleImage(),
+		Blob:    []byte{0xde, 0xad, 0xbe, 0xef},
 		Err:     "",
 	}
 }
@@ -41,7 +42,7 @@ func sampleMessage() *Message {
 func messagesEqual(a, b *Message) bool {
 	if a.Type != b.Type || a.Seq != b.Seq || a.From != b.From || a.View != b.View ||
 		a.Mode != b.Mode || a.Op != b.Op || a.Since != b.Since || a.Version != b.Version ||
-		a.Ops != b.Ops || a.Trig != b.Trig || a.Err != b.Err {
+		a.Ops != b.Ops || a.Trig != b.Trig || a.Err != b.Err || !bytes.Equal(a.Blob, b.Blob) {
 		return false
 	}
 	if !a.Props.Equal(b.Props) {
@@ -231,6 +232,9 @@ func genMessage(r *rand.Rand) *Message {
 	}
 	if r.Intn(2) == 0 {
 		m.Trig = Triggers{Push: "t > 5", Pull: "every(10)", Validity: ""}
+	}
+	if r.Intn(3) == 0 {
+		m.Blob = []byte(randWord(r))
 	}
 	if r.Intn(2) == 0 {
 		m.Props = property.NewSet(property.New("P", property.DiscreteInts(r.Intn(10), r.Intn(10)+10)))
