@@ -123,9 +123,10 @@ func (m *Manager) AbsorbHandover(h *Handover) error {
 
 // Absorb merges a snapshot into a live store, in contrast to Restore which
 // replaces. Shadow entries keep the newer version per key, the
-// version-ordered logs are merged, and the counter only fast-forwards —
-// it never goes back, which is what rules out version regressions across
-// a migration.
+// version-ordered logs are merged with the existing entry winning on a
+// version tie (so a round-trip migration does not duplicate records), and
+// the counter only fast-forwards — it never goes back, which is what
+// rules out version regressions across a migration.
 func (s *Store) Absorb(snap *Snapshot) error {
 	if snap == nil {
 		return fmt.Errorf("directory: nil snapshot")
@@ -140,10 +141,15 @@ func (s *Store) Absorb(snap *Snapshot) error {
 	merged := make([]UpdateRec, 0, len(s.log)+len(snap.Log))
 	i, j := 0, 0
 	for i < len(s.log) && j < len(snap.Log) {
-		if s.log[i].Version <= snap.Log[j].Version {
+		switch {
+		case s.log[i].Version == snap.Log[j].Version:
 			merged = append(merged, s.log[i])
 			i++
-		} else {
+			j++
+		case s.log[i].Version < snap.Log[j].Version:
+			merged = append(merged, s.log[i])
+			i++
+		default:
 			merged = append(merged, snap.Log[j])
 			j++
 		}

@@ -111,8 +111,9 @@ func TestSnapshotUnderConcurrentWriters(t *testing.T) {
 }
 
 // TestStoreAbsorbMergeSemantics pins down the migration-side merge: the
-// newer shadow version wins per key, logs interleave by version, and the
-// counter only ever moves forward.
+// newer shadow version wins per key, logs interleave by version with the
+// existing entry winning a version tie, and the counter only ever moves
+// forward.
 func TestStoreAbsorbMergeSemantics(t *testing.T) {
 	a := NewStore(newMapStore(), vclock.NewSim())
 	b := NewStore(newMapStore(), vclock.NewSim())
@@ -148,20 +149,27 @@ func TestStoreAbsorbMergeSemantics(t *testing.T) {
 	if byKey["k2"].Writer != "v1" {
 		t.Fatalf("k2 writer = %q, want v1", byKey["k2"].Writer)
 	}
-	// Log merged in version order.
+	// Log merged in version order; a's v1 record lost the tie against b's
+	// existing v1 record, so only a's v2 arrived.
 	for i := 1; i < len(snap.Log); i++ {
-		if snap.Log[i].Version < snap.Log[i-1].Version {
-			t.Fatalf("merged log out of order: %v", snap.Log)
+		if snap.Log[i].Version <= snap.Log[i-1].Version {
+			t.Fatalf("merged log out of order or duplicated: %v", snap.Log)
 		}
 	}
-	if len(snap.Log) != 3 {
-		t.Fatalf("merged log has %d entries, want 3", len(snap.Log))
+	if len(snap.Log) != 2 {
+		t.Fatalf("merged log has %d entries, want 2", len(snap.Log))
 	}
-	// Absorbing the same snapshot again must not regress anything.
+	// Absorbing the same snapshot again must not regress anything — and
+	// must not grow the log with duplicate versions (the round-trip
+	// migration case: moving views back to a shard that already holds a
+	// superset of the snapshot's log).
 	if err := b.Absorb(a.Snapshot()); err != nil {
 		t.Fatal(err)
 	}
 	if b.Current() != 2 {
 		t.Fatalf("re-absorb moved the counter to %d", b.Current())
+	}
+	if got := len(b.Snapshot().Log); got != 2 {
+		t.Fatalf("re-absorb grew the log to %d entries, want 2", got)
 	}
 }

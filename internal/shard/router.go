@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"flecc/internal/directory"
@@ -25,10 +26,15 @@ import (
 // Placement precedence for a registering view:
 //
 //  1. the Map's pin table (first pin whose property overlaps the view's),
-//  2. conflict affinity: co-locate with an already-assigned view whose
-//     property set overlaps (so dynConfl checks stay shard-local),
+//  2. conflict affinity: co-locate with the already-assigned views whose
+//     property sets overlap (so dynConfl checks stay shard-local),
 //  3. the consistent-hash ring over the canonical property-set string
 //     (the view name when the set is empty).
+//
+// A placement (or a TSetProps) that would leave one conflict group
+// spanning two shards is rejected with an error directing the operator to
+// pin the property domain — the alternative would be conflicts the
+// shard-local dynConfl check silently misses.
 //
 // Migrate moves assigned views between shards at run time; while a
 // migration freezes a shard, routed calls to it block (queue) and resume
@@ -66,11 +72,18 @@ func NewRouter(net transport.Network, name string, m *Map) (*Router, error) {
 		vv:       vclock.NewVector(),
 	}
 	r.cond = sync.NewCond(&r.mu)
+	// Attach under the lock: on a live network a request can be dispatched
+	// to r.route the moment the handler is installed, and route must not
+	// find r.ep nil. acquire() takes r.mu before the endpoint is used, so
+	// holding it across the attach closes the window.
+	r.mu.Lock()
 	ep, err := net.Attach(name, r.route)
 	if err != nil {
+		r.mu.Unlock()
 		return nil, err
 	}
 	r.ep = ep
+	r.mu.Unlock()
 	return r, nil
 }
 
@@ -124,40 +137,43 @@ func (r *Router) route(req *wire.Message) *wire.Message {
 	inner.From = view
 	blob := wire.Encode(&inner)
 
-	shard, err := r.acquire(view, req.Type, req.Props)
+	shard, placed, err := r.acquire(view, req.Type, req.Props)
 	if err != nil {
 		return errf("%v", err)
 	}
 	env := &wire.Message{Type: wire.TRouted, View: view, Blob: blob}
 	reply, callErr := r.ep.Call(shard, env)
-	r.release(shard)
+	r.settle(shard, view, req.Type, req.Props, placed, reply)
 
 	if reply == nil {
 		return errf("shard router %s: shard %s unreachable: %v", r.name, shard, callErr)
 	}
-	r.observe(shard, view, req, reply)
 	return reply
 }
 
 // acquire blocks while the owning shard is frozen, then claims a routing
-// slot on it and returns it. Registration placement happens here (under
-// the lock) so two concurrently registering, conflicting views settle on
-// the same shard.
-func (r *Router) acquire(view string, t wire.Type, props property.Set) (string, error) {
+// slot on it and returns it, with placed reporting whether a tentative
+// registration placement was recorded. Registration placement happens
+// here (under the lock) so two concurrently registering, conflicting
+// views settle on the same shard.
+func (r *Router) acquire(view string, t wire.Type, props property.Set) (shard string, placed bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
 		if r.closed {
-			return "", fmt.Errorf("shard router %s: closed", r.name)
+			return "", false, fmt.Errorf("shard router %s: closed", r.name)
 		}
 		shard, ok := r.assign[view]
 		if !ok {
 			if t != wire.TRegister {
-				return "", fmt.Errorf("shard router %s: %s for unknown view %s", r.name, t, view)
+				return "", false, fmt.Errorf("shard router %s: %s for unknown view %s", r.name, t, view)
 			}
-			shard = r.placeLocked(view, props)
+			shard, err = r.placeLocked(view, props)
+			if err != nil {
+				return "", false, err
+			}
 			if shard == "" {
-				return "", fmt.Errorf("shard router %s: no shards", r.name)
+				return "", false, fmt.Errorf("shard router %s: no shards", r.name)
 			}
 		}
 		if !r.frozen[shard] {
@@ -166,9 +182,19 @@ func (r *Router) acquire(view string, t wire.Type, props property.Set) (string, 
 				// conflicting views see it; rolled back if the shard refuses.
 				r.assign[view] = shard
 				r.vprops[view] = props.Clone()
+			} else if t == wire.TSetProps {
+				// The view keeps its shard (assignments are sticky), so the
+				// new set must not overlap views owned elsewhere — the
+				// shard-local dynConfl check would silently miss those
+				// conflicts. Checked before the shard applies the change.
+				if other := r.overlapOutsideLocked(view, shard, props); other != "" {
+					return "", false, fmt.Errorf(
+						"shard router %s: set-props on %s (shard %s) would overlap views on shard %s; pin the property domain to one shard",
+						r.name, view, shard, other)
+				}
 			}
 			r.inflight[shard]++
-			return shard, nil
+			return shard, !ok, nil
 		}
 		// Frozen for migration: wait and re-resolve — the view may be owned
 		// by a different shard when we wake.
@@ -176,62 +202,98 @@ func (r *Router) acquire(view string, t wire.Type, props property.Set) (string, 
 	}
 }
 
-// release returns a routing slot and wakes migration waiters when the
-// shard drains.
-func (r *Router) release(shard string) {
-	r.mu.Lock()
-	r.inflight[shard]--
-	if r.inflight[shard] <= 0 {
-		delete(r.inflight, shard)
-		r.cond.Broadcast()
-	}
-	r.mu.Unlock()
-}
-
-// placeLocked decides the shard for a registering view. Caller holds mu.
-func (r *Router) placeLocked(view string, props property.Set) string {
-	if shard, ok := r.m.RouteProps(props); ok {
-		return shard
-	}
+// placeLocked decides the shard for a registering view, rejecting any
+// placement that would split a conflict group across shards. Caller
+// holds mu.
+func (r *Router) placeLocked(view string, props property.Set) (string, error) {
+	// Conflict affinity: every assigned view whose property set overlaps
+	// the newcomer's must share its shard, because the directory manager's
+	// dynConfl check only sees its own registry. Collect the whole overlap
+	// group — co-locating with just the first overlapping view could make
+	// the newcomer a bridge between disjoint views on different shards,
+	// silently splitting its conflicts.
+	group := map[string]bool{}
 	if !props.IsEmpty() {
-		// Conflict affinity: views whose property sets overlap must share a
-		// shard, because the directory manager's dynConfl check only sees
-		// its own registry. Deterministic: scan assigned views in name order.
-		names := make([]string, 0, len(r.assign))
-		for v := range r.assign {
-			names = append(names, v)
-		}
-		sort.Strings(names)
-		for _, v := range names {
+		for v, s := range r.assign {
 			if r.vprops[v].Overlaps(props) {
-				return r.assign[v]
+				group[s] = true
 			}
 		}
+	}
+	if len(group) > 1 {
+		return "", fmt.Errorf(
+			"shard router %s: registering %s would span its conflict group across shards %s; pin the property domain to one shard",
+			r.name, view, joinShards(group))
+	}
+	if pinned, ok := r.m.RouteProps(props); ok {
+		if len(group) == 1 && !group[pinned] {
+			return "", fmt.Errorf(
+				"shard router %s: %s is pinned to %s but overlapping views live on %s; migrate them to the pinned shard first",
+				r.name, view, pinned, joinShards(group))
+		}
+		return pinned, nil
+	}
+	for s := range group {
+		return s, nil
 	}
 	key := props.String()
 	if key == "" {
 		key = view
 	}
-	return r.m.Owner(key)
+	return r.m.Owner(key), nil
 }
 
-// observe folds a reply's version metadata into the per-shard vector and
-// maintains the assignment table on lifecycle messages.
-func (r *Router) observe(shard, view string, req, reply *wire.Message) {
-	v := reply.Version
-	if reply.Img != nil && reply.Img.Version > v {
-		v = reply.Img.Version
+// overlapOutsideLocked returns a shard other than home owning a view
+// (other than self) whose property set overlaps props, or "" when the
+// overlap group stays on home. Caller holds mu.
+func (r *Router) overlapOutsideLocked(self, home string, props property.Set) string {
+	if props.IsEmpty() {
+		return ""
 	}
-	failed := reply.Type == wire.TErr
+	for v, s := range r.assign {
+		if v == self || s == home {
+			continue
+		}
+		if r.vprops[v].Overlaps(props) {
+			return s
+		}
+	}
+	return ""
+}
+
+func joinShards(set map[string]bool) string {
+	names := make([]string, 0, len(set))
+	for s := range set {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// settle folds a routed call's outcome into the router tables and returns
+// the routing slot, in one critical section. Releasing the slot first
+// would let a migration woken by the release drain the shard while the
+// reply is not yet folded in — a failed TRegister's tentative placement
+// still in r.assign makes TakeHandover fail on an unknown view, and a
+// late assignment update could clobber the migration's re-pointing.
+func (r *Router) settle(shard, view string, t wire.Type, props property.Set, placed bool, reply *wire.Message) {
+	failed := reply == nil || reply.Type == wire.TErr
 	r.mu.Lock()
-	if uint64(v) > r.vv[shard] {
-		r.vv[shard] = uint64(v)
+	if reply != nil {
+		v := reply.Version
+		if reply.Img != nil && reply.Img.Version > v {
+			v = reply.Img.Version
+		}
+		if uint64(v) > r.vv[shard] {
+			r.vv[shard] = uint64(v)
+		}
 	}
-	switch req.Type {
+	switch t {
 	case wire.TRegister:
-		if failed {
-			// acquire recorded the tentative placement; drop it so a retry
-			// re-places cleanly.
+		if failed && placed {
+			// Drop the tentative placement so a retry re-places cleanly.
+			// placed guards an existing assignment against a failed
+			// duplicate register.
 			delete(r.assign, view)
 			delete(r.vprops, view)
 		}
@@ -242,12 +304,15 @@ func (r *Router) observe(shard, view string, req, reply *wire.Message) {
 		}
 	case wire.TSetProps:
 		if !failed {
-			// The view keeps its shard (assignments are sticky); record the
-			// new set so future conflict-affinity placements see it. Domains
-			// whose views change properties across shard boundaries should
-			// be pinned instead.
-			r.vprops[view] = req.Props.Clone()
+			// Record the new set so future conflict-affinity placements see
+			// it; acquire already refused sets that overlap other shards.
+			r.vprops[view] = props.Clone()
 		}
+	}
+	r.inflight[shard]--
+	if r.inflight[shard] <= 0 {
+		delete(r.inflight, shard)
+		r.cond.Broadcast()
 	}
 	r.mu.Unlock()
 }
@@ -327,10 +392,14 @@ func (r *Router) Migrate(from, to string, views ...string) error {
 	}
 	r.mu.Unlock()
 
-	err := r.handover(from, to, views)
+	absorbed, err := r.handover(from, to, views)
 
 	r.mu.Lock()
-	if err == nil {
+	if absorbed {
+		// Re-point routing wherever the state actually lives — even when
+		// handover reports an error (e.g. a version regression): the source
+		// has dropped the views and the target absorbed them, so keeping
+		// them routed to the source would fail every subsequent request.
 		for _, v := range views {
 			r.assign[v] = to
 		}
@@ -343,34 +412,36 @@ func (r *Router) Migrate(from, to string, views ...string) error {
 }
 
 // handover performs the take/apply exchange. Both shards are frozen and
-// drained; no router traffic can race with it.
-func (r *Router) handover(from, to string, views []string) error {
+// drained; no router traffic can race with it. absorbed reports whether
+// the target now holds the views — it can be true even on error, in which
+// case the caller must still re-point routing at the target.
+func (r *Router) handover(from, to string, views []string) (absorbed bool, err error) {
 	blob, err := directory.EncodeViewList(views)
 	if err != nil {
-		return err
+		return false, err
 	}
 	takeReply, err := r.ep.Call(from, &wire.Message{Type: wire.TMigrateTake, Blob: blob})
 	if err != nil {
-		return fmt.Errorf("shard router %s: take from %s: %w", r.name, from, err)
+		return false, fmt.Errorf("shard router %s: take from %s: %w", r.name, from, err)
 	}
 	applyReply, err := r.ep.Call(to, &wire.Message{Type: wire.TMigrateApply, Blob: takeReply.Blob})
 	if err != nil {
 		// The source no longer serves the views; put them back so they are
 		// not stranded.
 		if _, rbErr := r.ep.Call(from, &wire.Message{Type: wire.TMigrateApply, Blob: takeReply.Blob}); rbErr != nil {
-			return fmt.Errorf("shard router %s: apply on %s failed (%v) and rollback to %s failed: %w",
+			return false, fmt.Errorf("shard router %s: apply on %s failed (%v) and rollback to %s failed: %w",
 				r.name, to, err, from, rbErr)
 		}
-		return fmt.Errorf("shard router %s: apply on %s: %w", r.name, to, err)
-	}
-	if applyReply.Version < takeReply.Version {
-		return fmt.Errorf("shard router %s: version regression migrating %s -> %s: source at %d, target at %d",
-			r.name, from, to, takeReply.Version, applyReply.Version)
+		return false, fmt.Errorf("shard router %s: apply on %s: %w", r.name, to, err)
 	}
 	r.mu.Lock()
 	if uint64(applyReply.Version) > r.vv[to] {
 		r.vv[to] = uint64(applyReply.Version)
 	}
 	r.mu.Unlock()
-	return nil
+	if applyReply.Version < takeReply.Version {
+		return true, fmt.Errorf("shard router %s: version regression migrating %s -> %s: source at %d, target at %d",
+			r.name, from, to, takeReply.Version, applyReply.Version)
+	}
+	return true, nil
 }
