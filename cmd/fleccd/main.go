@@ -36,24 +36,37 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
-		name      = flag.String("name", "db", "directory manager node name")
-		flights   = flag.Int("flights", 100, "number of synthetic flights to seed (starting at 100)")
-		capacity  = flag.Int("capacity", 200, "seats per flight")
-		shards    = flag.Int("shards", 1, "number of directory shards (1 = plain single directory manager)")
-		interval  = flag.Duration("status", 10*time.Second, "status log interval (0 disables)")
-		key       = flag.String("key", "", "shared secret; when set, the link is protected by an encryptor/decryptor pair")
-		ckptPath  = flag.String("checkpoint", "", "file to write protocol-metadata snapshots to (enables fail-over; per-shard files get a .sN suffix)")
-		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "snapshot interval when -checkpoint is set")
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		name       = flag.String("name", "db", "directory manager node name")
+		flights    = flag.Int("flights", 100, "number of synthetic flights to seed (starting at 100)")
+		capacity   = flag.Int("capacity", 200, "seats per flight")
+		shards     = flag.Int("shards", 1, "number of directory shards (1 = plain single directory manager)")
+		interval   = flag.Duration("status", 10*time.Second, "status log interval (0 disables)")
+		key        = flag.String("key", "", "shared secret; when set, the link is protected by an encryptor/decryptor pair")
+		ckptPath   = flag.String("checkpoint", "", "file to write protocol-metadata snapshots to (enables fail-over; per-shard files get a .sN suffix)")
+		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "snapshot interval when -checkpoint is set")
+		faultDrop  = flag.Float64("fault-drop", 0, "inject faults: probability [0,1] of dropping any message before delivery")
+		faultDelay = flag.Duration("fault-delay", 0, "inject faults: fixed delay added before delivering each message")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for the fault injector's random stream (deterministic runs)")
 	)
 	flag.Parse()
-	if err := run(*addr, *name, *flights, *capacity, *shards, *interval, *key, *ckptPath, *ckptEvery); err != nil {
+	if err := run(*addr, *name, *flights, *capacity, *shards, *interval, *key, *ckptPath, *ckptEvery,
+		faultOpts{drop: *faultDrop, delay: *faultDelay, seed: *faultSeed}); err != nil {
 		fmt.Fprintln(os.Stderr, "fleccd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, name string, flights, capacity, shards int, statusEvery time.Duration, key, ckptPath string, ckptEvery time.Duration) error {
+// faultOpts carries the -fault-* flags into run.
+type faultOpts struct {
+	drop  float64
+	delay time.Duration
+	seed  int64
+}
+
+func (f faultOpts) enabled() bool { return f.drop > 0 || f.delay > 0 }
+
+func run(addr, name string, flights, capacity, shards int, statusEvery time.Duration, key, ckptPath string, ckptEvery time.Duration, faults faultOpts) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1")
 	}
@@ -69,13 +82,22 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 		ln = secure.NewListener(ln, secure.NewPair([]byte(key)))
 		log.Printf("fleccd: link protected by encryptor/decryptor pair")
 	}
-	snet := transport.NewServerNetwork(ln, 30*time.Second)
+	var tnet transport.Network = transport.NewServerNetwork(ln, 30*time.Second)
+	var faulty *transport.Faulty
+	if faults.enabled() {
+		faulty = transport.NewFaulty(tnet, faults.seed)
+		faulty.SetDropRate(faults.drop)
+		faulty.SetDelay(faults.delay)
+		tnet = faulty
+		log.Printf("fleccd: fault injection on (drop=%.2f delay=%s seed=%d)", faults.drop, faults.delay, faults.seed)
+	}
 	opts := directory.Options{Resolver: airline.SeatResolver}
 
-	d, err := newDeployment(name, db, snet, shards, opts, ckptPath)
+	d, err := newDeployment(name, db, tnet, shards, opts, ckptPath)
 	if err != nil {
 		return err
 	}
+	d.faulty = faulty
 	defer d.close()
 	log.Printf("fleccd: directory %q (%d shard(s)) serving %d flights on %s", name, shards, flights, ln.Addr())
 
@@ -134,11 +156,12 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 // attached straight to the TCP server network, or a sharded service on a
 // bridge behind it.
 type deployment struct {
-	dm    *directory.Manager // single-DM mode
-	svc   *shard.Service     // sharded mode
-	brdg  *shard.Bridge
-	stats *metrics.MessageStats
-	ckpt  string
+	dm     *directory.Manager // single-DM mode
+	svc    *shard.Service     // sharded mode
+	brdg   *shard.Bridge
+	stats  *metrics.MessageStats
+	faulty *transport.Faulty
+	ckpt   string
 }
 
 type checkpointUnit struct {
@@ -146,7 +169,7 @@ type checkpointUnit struct {
 	snap *directory.Snapshot
 }
 
-func newDeployment(name string, db image.Codec, snet *transport.ServerNetwork, shards int, opts directory.Options, ckptPath string) (*deployment, error) {
+func newDeployment(name string, db image.Codec, snet transport.Network, shards int, opts directory.Options, ckptPath string) (*deployment, error) {
 	d := &deployment{ckpt: ckptPath}
 	if shards == 1 {
 		if ckptPath != "" {
@@ -243,19 +266,31 @@ func (d *deployment) checkpoints() []checkpointUnit {
 }
 
 func (d *deployment) status() string {
+	var b strings.Builder
 	if d.dm != nil {
 		views := d.dm.Views()
-		return fmt.Sprintf("v%d, %d views registered %v, %d conflicts resolved",
+		fmt.Fprintf(&b, "v%d, %d views registered %v, %d conflicts resolved",
 			d.dm.CurrentVersion(), len(views), views, d.dm.Store().ConflictsSeen())
+		if n := d.dm.ViewsEvicted(); n > 0 {
+			fmt.Fprintf(&b, ", %d views evicted %v", n, d.dm.LostViews())
+		}
+	} else {
+		fmt.Fprintf(&b, "%d shards", d.svc.NumShards())
+		var evicted int64
+		for i := 0; i < d.svc.NumShards(); i++ {
+			dm := d.svc.Shard(i)
+			fmt.Fprintf(&b, "; %s v%d %d views", shard.Node(d.svc.Name(), i), dm.CurrentVersion(), len(dm.Views()))
+			evicted += dm.ViewsEvicted()
+		}
+		if evicted > 0 {
+			fmt.Fprintf(&b, "; %d views evicted", evicted)
+		}
+		if per := d.stats.PerShardString(); per != "" {
+			fmt.Fprintf(&b, "; traffic %s", per)
+		}
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d shards", d.svc.NumShards())
-	for i := 0; i < d.svc.NumShards(); i++ {
-		dm := d.svc.Shard(i)
-		fmt.Fprintf(&b, "; %s v%d %d views", shard.Node(d.svc.Name(), i), dm.CurrentVersion(), len(dm.Views()))
-	}
-	if per := d.stats.PerShardString(); per != "" {
-		fmt.Fprintf(&b, "; traffic %s", per)
+	if d.faulty != nil {
+		fmt.Fprintf(&b, "; %d faults injected", d.faulty.Injected())
 	}
 	return b.String()
 }

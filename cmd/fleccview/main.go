@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"flecc/internal/airline"
+	"flecc/internal/cache"
 	"flecc/internal/secure"
 	"flecc/internal/transport"
 	"flecc/internal/vclock"
@@ -34,25 +35,37 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "fleccd address")
-		dir      = flag.String("dir", "db", "directory manager node name")
-		name     = flag.String("name", "agent-1", "view node name")
-		from     = flag.Int("from", 100, "first served flight")
-		to       = flag.Int("to", 109, "last served flight")
-		mode     = flag.String("mode", "weak", "initial mode: weak or strong")
-		key      = flag.String("key", "", "shared secret matching the daemon's -key (encryptor/decryptor pair)")
-		pushTrig = flag.String("pushtrigger", "", `push quality trigger, e.g. "pending > 0 && sincePush > 1500"`)
-		pullTrig = flag.String("pulltrigger", "", `pull quality trigger, e.g. "sincePull > 2000"`)
-		tick     = flag.Duration("tick", time.Second, "trigger evaluation period")
+		addr      = flag.String("addr", "127.0.0.1:7070", "fleccd address")
+		dir       = flag.String("dir", "db", "directory manager node name")
+		name      = flag.String("name", "agent-1", "view node name")
+		from      = flag.Int("from", 100, "first served flight")
+		to        = flag.Int("to", 109, "last served flight")
+		mode      = flag.String("mode", "weak", "initial mode: weak or strong")
+		key       = flag.String("key", "", "shared secret matching the daemon's -key (encryptor/decryptor pair)")
+		pushTrig  = flag.String("pushtrigger", "", `push quality trigger, e.g. "pending > 0 && sincePush > 1500"`)
+		pullTrig  = flag.String("pulltrigger", "", `pull quality trigger, e.g. "sincePull > 2000"`)
+		tick      = flag.Duration("tick", time.Second, "trigger evaluation period")
+		reconnect = flag.Int("reconnect", cache.DefaultReconnectAttempts, "reconnect attempts when the daemon connection dies (0 disables)")
+		reconBase = flag.Duration("reconnect-base", cache.DefaultReconnectBase, "initial reconnect backoff (doubles per attempt)")
+		reconMax  = flag.Duration("reconnect-max", cache.DefaultReconnectMax, "reconnect backoff cap")
 	)
 	flag.Parse()
-	if err := run(*addr, *dir, *name, *from, *to, *mode, *key, *pushTrig, *pullTrig, *tick); err != nil {
+	var pol *cache.ReconnectPolicy
+	if *reconnect > 0 {
+		pol = &cache.ReconnectPolicy{
+			Attempts: *reconnect,
+			Base:     *reconBase,
+			Max:      *reconMax,
+			Jitter:   0.2,
+		}
+	}
+	if err := run(*addr, *dir, *name, *from, *to, *mode, *key, *pushTrig, *pullTrig, *tick, pol); err != nil {
 		fmt.Fprintln(os.Stderr, "fleccview:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir, name string, from, to int, modeStr, key, pushTrig, pullTrig string, tick time.Duration) error {
+func run(addr, dir, name string, from, to int, modeStr, key, pushTrig, pullTrig string, tick time.Duration, recon *cache.ReconnectPolicy) error {
 	m := wire.Weak
 	if strings.EqualFold(modeStr, "strong") {
 		m = wire.Strong
@@ -66,6 +79,7 @@ func run(addr, dir, name string, from, to int, modeStr, key, pushTrig, pullTrig 
 		Name: name, Directory: dir, Net: dnet, Clock: vclock.NewReal(),
 		FlightsFrom: from, FlightsTo: to, Mode: m,
 		PushTrigger: pushTrig, PullTrigger: pullTrig,
+		Reconnect: recon,
 	})
 	if err != nil {
 		return err

@@ -36,6 +36,10 @@ type AgentConfig struct {
 	// read operations so the read/write-semantics extension can let
 	// concurrent readers coexist in strong mode.
 	ReadOnly bool
+	// Reconnect, when non-nil, lets the agent's cache manager survive its
+	// endpoint dying (directory restart, dropped connection) by re-dialing
+	// with backoff and re-registering.
+	Reconnect *cache.ReconnectPolicy
 }
 
 // TravelAgent is a deployed travel-agent view: a working replica of the
@@ -96,6 +100,7 @@ func NewTravelAgent(cfg AgentConfig) (*TravelAgent, error) {
 		Vars:            agentVars{rs: ars},
 		Clock:           cfg.Clock,
 		Op:              op,
+		Reconnect:       cfg.Reconnect,
 	})
 	if err != nil {
 		return nil, err

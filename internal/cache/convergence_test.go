@@ -267,10 +267,11 @@ func TestPartitionHealConvergence(t *testing.T) {
 	}
 }
 
-// TestInvalidateFailureSurfacesToPuller: when a conflicting view cannot be
-// invalidated (e.g. its host died), the strong puller gets an error rather
-// than silently proceeding without one-copy semantics.
-func TestInvalidateFailureSurfacesToPuller(t *testing.T) {
+// TestInvalidateFailureEvictsDeadView: when a conflicting view cannot be
+// invalidated (e.g. its host died), the directory manager retries with
+// backoff, then evicts the dead view and lets the strong pull proceed —
+// a crashed holder must not wedge every survivor.
+func TestInvalidateFailureEvictsDeadView(t *testing.T) {
 	rig := newRig(t, directory.Options{})
 	v1 := newKV(nil)
 	v2 := newKV(nil)
@@ -281,12 +282,36 @@ func TestInvalidateFailureSurfacesToPuller(t *testing.T) {
 	cm1.PullImage() // v1 is the active holder
 
 	rig.net.SetFaultInjector(func(from, to string, m *wire.Message) error {
-		if m.Type == wire.TInvalidate {
+		if m.Type == wire.TInvalidate && to == "v1" {
 			return fmt.Errorf("injected: %s unreachable", to)
 		}
 		return nil
 	})
-	if err := cm2.PullImage(); err == nil {
-		t.Fatal("pull requiring an unreachable invalidation must fail")
+	if err := cm2.PullImage(); err != nil {
+		t.Fatalf("pull must proceed after the dead holder is evicted: %v", err)
+	}
+	var evicted int64
+	var lost []string
+	for _, dm := range rig.dms() {
+		evicted += dm.ViewsEvicted()
+		lost = append(lost, dm.LostViews()...)
+	}
+	if evicted != 1 {
+		t.Fatalf("ViewsEvicted = %d, want 1", evicted)
+	}
+	if len(lost) != 1 || lost[0] != "v1" {
+		t.Fatalf("lost views = %v, want [v1]", lost)
+	}
+
+	// Revive-on-contact: once the dead view's manager speaks again, the
+	// tombstone clears and it rejoins the conflict set.
+	rig.net.SetFaultInjector(nil)
+	if err := cm1.PullImage(); err != nil {
+		t.Fatalf("revived view must be able to pull: %v", err)
+	}
+	for _, dm := range rig.dms() {
+		if n := len(dm.LostViews()); n != 0 {
+			t.Fatalf("view should be revived on contact, still lost: %v", dm.LostViews())
+		}
 	}
 }

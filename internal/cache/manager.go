@@ -69,17 +69,28 @@ type Config struct {
 	// Op is the view's default operation class (used by the read/write
 	// extension; OpWrite when unset).
 	Op wire.OpClass
+	// Reconnect, if non-nil, makes the manager survive a dead endpoint
+	// (e.g. a directory-manager restart) by re-dialing with exponential
+	// backoff + jitter, re-registering, and re-pulling before resuming.
+	// Nil keeps the historical behavior: transport errors surface to the
+	// caller.
+	Reconnect *ReconnectPolicy
 }
 
 // Manager is the view-side protocol endpoint.
 type Manager struct {
-	name   string
-	dir    string
-	view   image.Codec
-	vars   trigger.Env
-	clock  vclock.Clock
-	op     wire.OpClass
-	ep     transport.Endpoint
+	name  string
+	dir   string
+	view  image.Codec
+	vars  trigger.Env
+	clock vclock.Clock
+	op    wire.OpClass
+	net   transport.Network
+	// trigSrc keeps the trigger sources for re-registration.
+	trigSrc wire.Triggers
+	// recon, when non-nil, drives the reconnect cycle (reconnect.go).
+	recon  *reconnector
+	ep     transport.Endpoint // guarded by mu; use endpoint()/setEndpoint()
 	pushTr trigger.Trigger
 	pullTr trigger.Trigger
 
@@ -121,16 +132,25 @@ func New(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("cache: pull trigger: %w", err)
 	}
 	m := &Manager{
-		name:   cfg.Name,
-		dir:    cfg.Directory,
-		view:   cfg.View,
-		vars:   cfg.Vars,
-		clock:  cfg.Clock,
-		op:     cfg.Op,
+		name:  cfg.Name,
+		dir:   cfg.Directory,
+		view:  cfg.View,
+		vars:  cfg.Vars,
+		clock: cfg.Clock,
+		op:    cfg.Op,
+		net:   cfg.Net,
+		trigSrc: wire.Triggers{
+			Push:     cfg.PushTrigger,
+			Pull:     cfg.PullTrigger,
+			Validity: cfg.ValidityTrigger,
+		},
 		pushTr: pushTr,
 		pullTr: pullTr,
 		props:  cfg.Props.Clone(),
 		mode:   cfg.Mode,
+	}
+	if cfg.Reconnect != nil {
+		m.recon = newReconnector(cfg.Name, *cfg.Reconnect)
 	}
 	m.cond = sync.NewCond(&m.mu)
 	ep, err := cfg.Net.Attach(cfg.Name, m.handle)
@@ -138,19 +158,7 @@ func New(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("cache: attach %q: %w", cfg.Name, err)
 	}
 	m.ep = ep
-	_, err = ep.Call(cfg.Directory, &wire.Message{
-		Type:  wire.TRegister,
-		View:  cfg.Name,
-		Mode:  cfg.Mode,
-		Op:    cfg.Op,
-		Props: cfg.Props,
-		Trig: wire.Triggers{
-			Push:     cfg.PushTrigger,
-			Pull:     cfg.PullTrigger,
-			Validity: cfg.ValidityTrigger,
-		},
-	})
-	if err != nil {
+	if _, err := ep.Call(cfg.Directory, m.registerMsg()); err != nil {
 		ep.Close()
 		return nil, fmt.Errorf("cache: register %q: %w", cfg.Name, err)
 	}
@@ -201,7 +209,7 @@ func (m *Manager) Invalidations() int {
 
 // InitImage fetches the view's initial data (Figure 2, steps 3–5).
 func (m *Manager) InitImage() error {
-	reply, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TInit})
+	reply, err := m.call(&wire.Message{Type: wire.TInit})
 	if err != nil {
 		return err
 	}
@@ -229,7 +237,7 @@ func (m *Manager) PullImage() error {
 	since := m.seen
 	m.mu.Unlock()
 
-	reply, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TPull, Since: since, Op: m.op})
+	reply, err := m.call(&wire.Message{Type: wire.TPull, Since: since, Op: m.op})
 	if err != nil {
 		return err
 	}
@@ -267,13 +275,25 @@ func (m *Manager) PushImage() error {
 	}
 	m.mu.Unlock()
 
-	reply, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TPush, Img: delta, Ops: uint32(ops)})
+	reply, err := m.call(&wire.Message{Type: wire.TPush, Img: delta, Ops: uint32(ops)})
 	if err != nil {
 		return err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.base = cur
+	// Fold only the pushed keys into the base snapshot. The manager was
+	// unlocked during the call, so a propagated update or a reconnect
+	// re-pull may have merged fresh remote entries meanwhile; wholesale
+	// replacing base with the pre-call extract would regress those keys,
+	// leaving the view looking dirty with stale data that a later push
+	// would echo over newer commits.
+	for k, e := range delta.Entries {
+		if ce, ok := cur.Get(k); ok {
+			m.base.Put(ce.Clone())
+		} else if e.Deleted {
+			m.base.Put(image.Entry{Key: k, Version: reply.Version, Writer: m.name, Deleted: true})
+		}
+	}
 	m.pendingOps = 0
 	m.lastPush = m.clock.Now()
 	// Note: seen does NOT advance here. The push ack's version covers only
@@ -334,19 +354,19 @@ func (m *Manager) EndUse() {
 // base Flecc protocol does not use tokens (mutual exclusion is handled by
 // invalidations); the time-sharing baseline serializes agents with it.
 func (m *Manager) Acquire() error {
-	_, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TAcquire, Op: m.op})
+	_, err := m.call(&wire.Message{Type: wire.TAcquire, Op: m.op})
 	return err
 }
 
 // Release returns the token obtained with Acquire.
 func (m *Manager) Release() error {
-	_, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TRelease})
+	_, err := m.call(&wire.Message{Type: wire.TRelease})
 	return err
 }
 
 // SetMode switches the view between strong and weak operation at run time.
 func (m *Manager) SetMode(mode wire.Mode) error {
-	if _, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TSetMode, Mode: mode}); err != nil {
+	if _, err := m.call(&wire.Message{Type: wire.TSetMode, Mode: mode}); err != nil {
 		return err
 	}
 	m.mu.Lock()
@@ -357,7 +377,7 @@ func (m *Manager) SetMode(mode wire.Mode) error {
 
 // SetProps installs a new dynamic property set for the view.
 func (m *Manager) SetProps(props property.Set) error {
-	if _, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TSetProps, Props: props}); err != nil {
+	if _, err := m.call(&wire.Message{Type: wire.TSetProps, Props: props}); err != nil {
 		return err
 	}
 	m.mu.Lock()
@@ -379,11 +399,12 @@ func (m *Manager) KillImage() error {
 			return fmt.Errorf("cache: final push: %w", err)
 		}
 	}
-	if _, err := m.ep.Call(m.dir, &wire.Message{Type: wire.TUnregister}); err != nil {
-		m.ep.Close()
+	ep := m.endpoint()
+	if _, err := ep.Call(m.dir, &wire.Message{Type: wire.TUnregister}); err != nil {
+		ep.Close()
 		return err
 	}
-	return m.ep.Close()
+	return ep.Close()
 }
 
 // applyIncomingLocked folds an incoming image (init/pull reply or DM

@@ -3,12 +3,18 @@ package cache_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
+	"time"
 
 	"flecc/internal/airline"
+	"flecc/internal/cache"
 	"flecc/internal/directory"
 	"flecc/internal/metrics"
 	"flecc/internal/netsim"
+	"flecc/internal/property"
+	"flecc/internal/transport"
 	"flecc/internal/vclock"
 	"flecc/internal/wire"
 )
@@ -171,4 +177,183 @@ func TestSoakAirlineMixedModes(t *testing.T) {
 	}
 	t.Logf("soak: %d steps, %d messages, final version v%d, %d conflicts resolved, %v virtual time",
 		steps, stats.Total(), dm.CurrentVersion(), dm.Store().ConflictsSeen(), clock.Now())
+}
+
+// faultDropRate is the message-drop probability for the failure soak:
+// 10% by default, overridable with FLECC_TEST_FAULTS=<percent> (the CI
+// fault job runs the suite at a higher rate, the same way
+// FLECC_TEST_SHARDS reruns it sharded).
+func faultDropRate() float64 {
+	if s := os.Getenv("FLECC_TEST_FAULTS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 && n <= 90 {
+			return float64(n) / 100
+		}
+	}
+	return 0.10
+}
+
+// TestSoakFaultInjected is the deterministic failure soak: three weak-mode
+// views over a Faulty-wrapped in-process transport with seeded message
+// drops (see faultDropRate), reconnect-enabled cache managers, and a fast
+// retry/evict policy at the directory manager. Midway one view's node is
+// isolated (a crashed process); a strong pull on a conflicting view must
+// still complete, with the dead view evicted and counted. After the faults
+// stop, the survivors must converge on exactly the writes whose pushes
+// were acknowledged.
+//
+// Everything is driven from one goroutine over the synchronous Inproc
+// transport, so the injector's seeded random stream is consumed in a fixed
+// order and the run is reproducible for a given drop rate.
+func TestSoakFaultInjected(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	clock := vclock.NewSim()
+	faulty := transport.NewFaulty(transport.NewInproc(), 7)
+	noSleep := func(time.Duration) {}
+
+	prim := newKV(nil)
+	dm, err := directory.New("db", prim, clock, faulty, directory.Options{
+		Retry: transport.RetryPolicy{Attempts: 3, Base: time.Microsecond, Sleep: noSleep},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dm.Close()
+
+	names := []string{"v1", "v2", "v3"}
+	cms := map[string]*cache.Manager{}
+	views := map[string]*kvView{}
+	for _, n := range names {
+		v := newKV(nil)
+		cm, err := cache.New(cache.Config{
+			Name: n, Directory: "db", Net: faulty, View: v,
+			Props: property.MustSet("P={x}"), Mode: wire.Weak, Clock: clock,
+			Reconnect: &cache.ReconnectPolicy{
+				Attempts: 4, Base: time.Microsecond, Max: time.Microsecond, Sleep: noSleep,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cm.InitImage(); err != nil {
+			t.Fatal(err)
+		}
+		cms[n], views[n] = cm, v
+	}
+
+	faulty.SetDropRate(faultDropRate())
+
+	// expect holds writes whose push was acknowledged; staged holds writes
+	// made locally but not yet acknowledged (they ride the next ack).
+	expect := map[string]string{}
+	staged := map[string]map[string]string{"v1": {}, "v2": {}, "v3": {}}
+	dead := map[string]bool{}
+	var pushErrs, pullErrs int
+
+	const steps = 400
+	for i := 0; i < steps; i++ {
+		clock.Advance(1)
+		if i == steps/2 {
+			// v3's process crashes: every edge touching it goes dark.
+			faulty.Isolate("v3")
+			dead["v3"] = true
+
+			// A strong pull on a conflicting live view must complete: the
+			// DM retries the dead view's invalidation, evicts it, and
+			// serves the puller.
+			if err := cms["v1"].SetMode(wire.Strong); err != nil {
+				t.Fatalf("step %d: mode flip to strong: %v", i, err)
+			}
+			if err := cms["v1"].PullImage(); err != nil {
+				t.Fatalf("step %d: strong pull with dead conflicting view: %v", i, err)
+			}
+			if dm.ViewsEvicted() == 0 {
+				t.Fatalf("step %d: dead view was not evicted", i)
+			}
+			if err := cms["v1"].SetMode(wire.Weak); err != nil {
+				t.Fatalf("step %d: mode flip back: %v", i, err)
+			}
+			continue
+		}
+		n := names[r.Intn(len(names))]
+		if dead[n] {
+			continue
+		}
+		switch r.Intn(3) {
+		case 0: // write + push
+			k := fmt.Sprintf("%s-k%d", n, r.Intn(20))
+			val := fmt.Sprintf("s%d", i)
+			views[n].Set(k, val)
+			staged[n][k] = val
+			if err := cms[n].PushImage(); err != nil {
+				pushErrs++
+				continue
+			}
+			for sk, sv := range staged[n] {
+				expect[sk] = sv
+			}
+			staged[n] = map[string]string{}
+		case 1: // push without new writes (drains staged backlog)
+			if err := cms[n].PushImage(); err != nil {
+				pushErrs++
+				continue
+			}
+			for sk, sv := range staged[n] {
+				expect[sk] = sv
+			}
+			staged[n] = map[string]string{}
+		case 2:
+			if err := cms[n].PullImage(); err != nil {
+				pullErrs++
+			}
+		}
+	}
+
+	if dm.ViewsEvicted() < 1 {
+		t.Fatalf("ViewsEvicted = %d, want >= 1", dm.ViewsEvicted())
+	}
+	// At high drop rates a live view can transiently exhaust its retries
+	// and get evicted too (it revives on next contact), so require only
+	// that the genuinely dead view is among the lost.
+	lost := dm.LostViews()
+	var v3Lost bool
+	for _, n := range lost {
+		if n == "v3" {
+			v3Lost = true
+		}
+	}
+	if !v3Lost {
+		t.Fatalf("lost views = %v, want v3 among them", lost)
+	}
+	if faulty.Injected() == 0 {
+		t.Fatal("soak ran without injecting a single fault")
+	}
+	t.Logf("soak: %d injected faults, %d push errors, %d pull errors, %d evictions",
+		faulty.Injected(), pushErrs, pullErrs, dm.ViewsEvicted())
+
+	// Quiesce: stop dropping, drain the survivors' backlogs, converge.
+	faulty.SetDropRate(0)
+	for _, n := range []string{"v1", "v2"} {
+		if err := cms[n].PushImage(); err != nil {
+			t.Fatalf("final push %s: %v", n, err)
+		}
+		for sk, sv := range staged[n] {
+			expect[sk] = sv
+		}
+		staged[n] = map[string]string{}
+	}
+	for _, n := range []string{"v1", "v2"} {
+		if err := cms[n].PullImage(); err != nil {
+			t.Fatalf("final pull %s: %v", n, err)
+		}
+	}
+	for k, want := range expect {
+		if got := prim.Get(k); got != want {
+			t.Fatalf("primary %s = %q, want %q", k, got, want)
+		}
+		for _, n := range []string{"v1", "v2"} {
+			if got := views[n].Get(k); got != want {
+				t.Fatalf("replica %s: %s = %q, want %q", n, k, got, want)
+			}
+		}
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"flecc/internal/image"
+	"flecc/internal/metrics"
 	"flecc/internal/property"
 	"flecc/internal/registry"
 	"flecc/internal/transport"
@@ -52,6 +53,11 @@ type Options struct {
 	// protocol metadata into this (standby) instance before it starts
 	// serving — the fail-safe mechanism sketched in §4.1.
 	Snapshot *Snapshot
+	// Retry bounds the retry-with-backoff the manager applies to its own
+	// outbound calls (invalidate, fetch, update) before declaring the
+	// target view unreachable and evicting it. The zero value uses the
+	// transport defaults.
+	Retry transport.RetryPolicy
 }
 
 // viewState is the DM-side record for one registered view.
@@ -76,6 +82,10 @@ type Manager struct {
 
 	ep transport.Endpoint
 
+	// evictions counts views discarded after their cache manager stopped
+	// answering DM-initiated calls (the ViewsEvicted metric).
+	evictions *metrics.Counter
+
 	mu    sync.Mutex
 	views map[string]*viewState
 }
@@ -85,12 +95,13 @@ type Manager struct {
 // directory manager is running in the system (paper §4.2).
 func New(name string, primary image.Codec, clock vclock.Clock, net transport.Network, opts Options) (*Manager, error) {
 	m := &Manager{
-		name:  name,
-		store: NewStore(primary, clock),
-		reg:   registry.New(),
-		clock: clock,
-		opts:  opts,
-		views: map[string]*viewState{},
+		name:      name,
+		store:     NewStore(primary, clock),
+		reg:       registry.New(),
+		clock:     clock,
+		opts:      opts,
+		views:     map[string]*viewState{},
+		evictions: metrics.NewCounter(name + ".views_evicted"),
 	}
 	if opts.Resolver != nil {
 		m.store.SetResolver(opts.Resolver)
@@ -145,6 +156,13 @@ func (m *Manager) UnseenCommitted(view string) int {
 	return m.store.UnseenOps(seen, view, props)
 }
 
+// ViewsEvicted returns how many views this manager has evicted because
+// their cache manager stopped answering DM-initiated calls.
+func (m *Manager) ViewsEvicted() int64 { return m.evictions.Value() }
+
+// LostViews returns the names of currently evicted (lost) views.
+func (m *Manager) LostViews() []string { return m.reg.LostViews() }
+
 // Seen returns the primary version a view last observed.
 func (m *Manager) Seen(view string) vclock.Version {
 	m.mu.Lock()
@@ -160,6 +178,18 @@ func (m *Manager) handle(req *wire.Message) *wire.Message {
 	if m.opts.Handler != nil {
 		if reply := m.opts.Handler(req); reply != nil {
 			return reply
+		}
+	}
+	// A message from a lost view proves its cache manager is alive again
+	// (the eviction was a false positive, or the CM reconnected without
+	// needing to re-register): clear the tombstone so the view rejoins
+	// conflict accounting. Register has its own revival path; routed and
+	// migration envelopes are not CM-originated.
+	switch req.Type {
+	case wire.TRegister, wire.TRouted, wire.TMigrateTake, wire.TMigrateApply:
+	default:
+		if req.From != "" && m.reg.Lost(req.From) {
+			m.reg.SetLost(req.From, false)
 		}
 	}
 	switch req.Type {
@@ -201,9 +231,47 @@ func (m *Manager) handleRegister(req *wire.Message) *wire.Message {
 	if err != nil {
 		return errf("bad validity trigger for %s: %v", view, err)
 	}
+	if m.reg.Has(view) {
+		return m.reRegister(view, req, val)
+	}
 	if err := m.reg.Register(view, req.Props); err != nil {
 		return errf("%v", err)
 	}
+	m.mu.Lock()
+	m.views[view] = &viewState{name: view, mode: req.Mode, validity: val, lastOp: req.Op}
+	m.mu.Unlock()
+	return &wire.Message{Type: wire.TAck, Version: m.store.Current()}
+}
+
+// reRegister handles a register for a name that is already on the books.
+// A reconnecting cache manager re-announces itself with the same property
+// set; that must be idempotent — the recorded seen/mode survive so delta
+// pulls resume where they left off — and it revives a lost tombstone. A
+// registration with different properties is only accepted over a lost
+// tombstone (the old holder is gone); against a live view it stays an
+// error, as before.
+func (m *Manager) reRegister(view string, req *wire.Message, val trigger.Trigger) *wire.Message {
+	prev, _ := m.reg.Props(view)
+	m.mu.Lock()
+	vs, ok := m.views[view]
+	if ok && prev.Equal(req.Props) {
+		// Keep seen and mode; refresh only what the CM re-announces.
+		vs.validity = val
+		vs.lastOp = req.Op
+		m.mu.Unlock()
+		m.reg.SetLost(view, false)
+		return &wire.Message{Type: wire.TAck, Version: m.store.Current()}
+	}
+	m.mu.Unlock()
+	if !m.reg.Lost(view) {
+		return errf("registry: view %q already registered", view)
+	}
+	// A new holder claims a dead view's name with different properties:
+	// start it fresh (seen resets; its first pull is a full image).
+	if err := m.reg.SetProps(view, req.Props); err != nil {
+		return errf("%v", err)
+	}
+	m.reg.SetLost(view, false)
 	m.mu.Lock()
 	m.views[view] = &viewState{name: view, mode: req.Mode, validity: val, lastOp: req.Op}
 	m.mu.Unlock()
@@ -367,11 +435,38 @@ func (m *Manager) gatherTargets(view string) []string {
 	return m.conflictSet(view, true)
 }
 
+// callView is every DM-initiated call: bounded retry-with-backoff under
+// the configured policy, so a transient drop does not discard a live
+// view's pending deltas. A final transport error means the view is
+// unreachable and the caller should evict it; a remote (protocol) error
+// means the view answered and is NOT evicted.
+func (m *Manager) callView(target string, req *wire.Message) (*wire.Message, error) {
+	return transport.CallRetry(m.ep, target, req, m.opts.Retry)
+}
+
+// evictView marks an unreachable view lost: deactivated and tombstoned in
+// the registry, so it drops out of conflict sets, gathering, and log
+// compaction. Its pending updates died with its cache manager — they are
+// gone, which is exactly what "the component crashed" means; the protocol
+// state (seen, mode, props) survives on the tombstone so a reconnecting
+// manager resumes via the idempotent re-register, and any later message
+// from the view revives it.
+func (m *Manager) evictView(target string) {
+	m.reg.SetLost(target, true)
+	m.evictions.Inc()
+}
+
 // invalidateView sends TInvalidate, commits the returned pending delta,
-// and deactivates the view (Figure 2, steps 12–14).
+// and deactivates the view (Figure 2, steps 12–14). An unreachable view
+// is evicted and reported as nil — a dead component must not wedge every
+// conflicting pull forever.
 func (m *Manager) invalidateView(target string) error {
-	reply, err := m.ep.Call(target, &wire.Message{Type: wire.TInvalidate, View: target})
+	reply, err := m.callView(target, &wire.Message{Type: wire.TInvalidate, View: target})
 	if err != nil {
+		if transport.IsTransportError(err) {
+			m.evictView(target)
+			return nil
+		}
 		return err
 	}
 	m.reg.SetActive(target, false)
@@ -379,10 +474,15 @@ func (m *Manager) invalidateView(target string) error {
 }
 
 // fetchFrom asks an active view for its pending updates without stopping
-// it (weak-mode gathering).
+// it (weak-mode gathering). Like invalidateView, an unreachable view is
+// evicted rather than failing the caller's pull.
 func (m *Manager) fetchFrom(target string) error {
-	reply, err := m.ep.Call(target, &wire.Message{Type: wire.TPull, View: target})
+	reply, err := m.callView(target, &wire.Message{Type: wire.TPull, View: target})
 	if err != nil {
+		if transport.IsTransportError(err) {
+			m.evictView(target)
+			return nil
+		}
 		return err
 	}
 	return m.commitReply(target, reply)
@@ -438,8 +538,14 @@ func (m *Manager) propagate(writer string, ver vclock.Version) error {
 		if img.Len() == 0 {
 			continue
 		}
-		reply, err := m.ep.Call(other, &wire.Message{Type: wire.TUpdate, View: other, Img: img, Version: ver})
+		reply, err := m.callView(other, &wire.Message{Type: wire.TUpdate, View: other, Img: img, Version: ver})
 		if err != nil {
+			if transport.IsTransportError(err) {
+				// An unreachable recipient is evicted, not allowed to fail
+				// the writer's push; it will catch up on re-register.
+				m.evictView(other)
+				continue
+			}
 			return fmt.Errorf("update %s: %w", other, err)
 		}
 		_ = reply
@@ -480,6 +586,12 @@ func (m *Manager) CompactLog() int {
 	min := vclock.Version(0)
 	first := true
 	for _, vs := range m.views {
+		// A lost view's stale seen must not pin the log forever; if it
+		// reappears with a gap, its delta pull still serves everything
+		// newer than its seen from the shadow, so correctness holds.
+		if m.reg.Lost(vs.name) {
+			continue
+		}
 		if first || vs.seen < min {
 			min = vs.seen
 			first = false

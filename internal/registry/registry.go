@@ -56,6 +56,11 @@ type ViewInfo struct {
 	// (between startUse and endUse in strong mode; from init to kill in
 	// weak mode).
 	Active bool
+	// Lost marks a view the directory manager evicted after its cache
+	// manager became unreachable. A lost view is a tombstone: it keeps its
+	// registration (so an idempotent re-register can resume with the same
+	// seen/mode) but is excluded from conflict sets until it reappears.
+	Lost bool
 }
 
 // Registry tracks registered views, their property sets, and the static
@@ -178,6 +183,41 @@ func (r *Registry) Active(name string) bool {
 	return ok && v.Active
 }
 
+// SetLost marks a view lost (evicted for unreachability) or found again.
+// Marking lost also deactivates. Unknown names are ignored.
+func (r *Registry) SetLost(name string, lost bool) {
+	r.mu.Lock()
+	if v, ok := r.views[name]; ok {
+		v.Lost = lost
+		if lost {
+			v.Active = false
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Lost reports whether a view is currently a lost tombstone.
+func (r *Registry) Lost(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.views[name]
+	return ok && v.Lost
+}
+
+// LostViews returns the sorted names of lost views.
+func (r *Registry) LostViews() []string {
+	r.mu.RLock()
+	var out []string
+	for n, v := range r.views {
+		if v.Lost {
+			out = append(out, n)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
 // Views returns the sorted names of all registered views.
 func (r *Registry) Views() []string {
 	r.mu.RLock()
@@ -237,6 +277,11 @@ func (r *Registry) ConflictingWith(name string, activeOnly bool) []string {
 	names := make([]string, 0, len(r.views))
 	for n, v := range r.views {
 		if n == name {
+			continue
+		}
+		// Lost views are unreachable tombstones: nothing can be gathered
+		// from or invalidated at them, so they never appear in the set.
+		if v.Lost {
 			continue
 		}
 		if activeOnly && !v.Active {

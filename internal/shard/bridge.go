@@ -144,7 +144,10 @@ func (n *bridgeNode) Call(to string, req *wire.Message) (*wire.Message, error) {
 	b := n.bridge
 	if callee := b.lookup(to); callee != nil {
 		// In-process delivery, Inproc-style: synchronous on the caller's
-		// goroutine.
+		// goroutine. Stamp a shallow clone — the caller may retry the same
+		// message and must not observe Seq/From writes.
+		r := *req
+		req = &r
 		req.Seq = b.seq.Add(1)
 		req.From = n.name
 		if o := b.obs; o != nil {

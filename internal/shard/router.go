@@ -52,6 +52,7 @@ type Router struct {
 	inflight map[string]int          // shard -> routed calls in flight
 	frozen   map[string]bool         // shard -> migration freeze
 	vv       vclock.Vector           // shard -> highest primary version observed
+	retry    transport.RetryPolicy   // bounds router→shard call retries
 	closed   bool
 }
 
@@ -142,7 +143,10 @@ func (r *Router) route(req *wire.Message) *wire.Message {
 		return errf("%v", err)
 	}
 	env := &wire.Message{Type: wire.TRouted, View: view, Blob: blob}
-	reply, callErr := r.ep.Call(shard, env)
+	// Same eviction contract as the DM's own outbound calls: bounded
+	// retry-with-backoff before declaring the shard unreachable, so one
+	// dropped frame does not fail the view's request.
+	reply, callErr := transport.CallRetry(r.ep, shard, env, r.retryPolicy())
 	r.settle(shard, view, req.Type, req.Props, placed, reply)
 
 	if reply == nil {
@@ -317,6 +321,21 @@ func (r *Router) settle(shard, view string, t wire.Type, props property.Set, pla
 	r.mu.Unlock()
 }
 
+// SetRetryPolicy configures the bounded retry-with-backoff applied to
+// router→shard calls (routing envelopes and migration take/apply). The
+// zero value means the transport defaults.
+func (r *Router) SetRetryPolicy(p transport.RetryPolicy) {
+	r.mu.Lock()
+	r.retry = p
+	r.mu.Unlock()
+}
+
+func (r *Router) retryPolicy() transport.RetryPolicy {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retry
+}
+
 // Versions returns a copy of the per-shard version vector: for each shard
 // node, the highest primary version the router has observed from it.
 // Components never decrease — a regression would mean a migration lost
@@ -420,15 +439,15 @@ func (r *Router) handover(from, to string, views []string) (absorbed bool, err e
 	if err != nil {
 		return false, err
 	}
-	takeReply, err := r.ep.Call(from, &wire.Message{Type: wire.TMigrateTake, Blob: blob})
+	takeReply, err := transport.CallRetry(r.ep, from, &wire.Message{Type: wire.TMigrateTake, Blob: blob}, r.retryPolicy())
 	if err != nil {
 		return false, fmt.Errorf("shard router %s: take from %s: %w", r.name, from, err)
 	}
-	applyReply, err := r.ep.Call(to, &wire.Message{Type: wire.TMigrateApply, Blob: takeReply.Blob})
+	applyReply, err := transport.CallRetry(r.ep, to, &wire.Message{Type: wire.TMigrateApply, Blob: takeReply.Blob}, r.retryPolicy())
 	if err != nil {
 		// The source no longer serves the views; put them back so they are
 		// not stranded.
-		if _, rbErr := r.ep.Call(from, &wire.Message{Type: wire.TMigrateApply, Blob: takeReply.Blob}); rbErr != nil {
+		if _, rbErr := transport.CallRetry(r.ep, from, &wire.Message{Type: wire.TMigrateApply, Blob: takeReply.Blob}, r.retryPolicy()); rbErr != nil {
 			return false, fmt.Errorf("shard router %s: apply on %s failed (%v) and rollback to %s failed: %w",
 				r.name, to, err, from, rbErr)
 		}

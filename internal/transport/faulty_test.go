@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"flecc/internal/wire"
+)
+
+// faultyPair builds a Faulty-wrapped Inproc with two attached nodes and
+// returns the wrapper plus the "cm" endpoint (its peer "dm" echoes).
+func faultyPair(t *testing.T, seed int64) (*Faulty, Endpoint) {
+	t.Helper()
+	f := NewFaulty(NewInproc(), seed)
+	if _, err := f.Attach("dm", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	cm, err := f.Attach("cm", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, cm
+}
+
+func TestFaultyPassthrough(t *testing.T) {
+	_, cm := faultyPair(t, 1)
+	reply, err := cm.Call("dm", &wire.Message{Type: wire.TPull, View: "cm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != wire.TAck || reply.View != "cm" {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+// TestFaultyDropDeterminism: the same seed and call sequence must produce
+// the same drop pattern — that is what makes fault soaks reproducible.
+func TestFaultyDropDeterminism(t *testing.T) {
+	pattern := func() []bool {
+		f, cm := faultyPair(t, 42)
+		f.SetDropRate(0.3)
+		out := make([]bool, 0, 50)
+		for i := 0; i < 50; i++ {
+			_, err := cm.Call("dm", &wire.Message{Type: wire.TPull})
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := pattern(), pattern()
+	var drops int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: run A dropped=%v, run B dropped=%v", i, a[i], b[i])
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("30%% drop rate produced %d/%d drops", drops, len(a))
+	}
+}
+
+func TestFaultyDropIsTransportError(t *testing.T) {
+	f, cm := faultyPair(t, 1)
+	f.SetDropRate(1)
+	_, err := cm.Call("dm", &wire.Message{Type: wire.TPull})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !IsTransportError(err) {
+		t.Fatal("injected drop must classify as a transport error")
+	}
+}
+
+func TestFaultyPartitionAndHeal(t *testing.T) {
+	f, cm := faultyPair(t, 1)
+	f.Partition("dm", "cm")
+	if _, err := cm.Call("dm", &wire.Message{Type: wire.TPull}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned call: %v", err)
+	}
+	f.Heal("cm", "dm") // either argument order heals
+	if _, err := cm.Call("dm", &wire.Message{Type: wire.TPull}); err != nil {
+		t.Fatalf("healed call: %v", err)
+	}
+}
+
+func TestFaultyIsolateRestore(t *testing.T) {
+	f, cm := faultyPair(t, 1)
+	dm, _ := f.Attach("dm2", echoHandler)
+
+	f.Isolate("cm")
+	if _, err := cm.Call("dm", &wire.Message{Type: wire.TPull}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("outbound from isolated node: %v", err)
+	}
+	if _, err := dm.Call("cm", &wire.Message{Type: wire.TInvalidate}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("inbound to isolated node: %v", err)
+	}
+	// Unrelated edges keep working.
+	if _, err := dm.Call("dm", &wire.Message{Type: wire.TPull}); err != nil {
+		t.Fatalf("unrelated edge: %v", err)
+	}
+	f.Restore("cm")
+	if _, err := cm.Call("dm", &wire.Message{Type: wire.TPull}); err != nil {
+		t.Fatalf("restored call: %v", err)
+	}
+}
+
+func TestFaultyDisconnectNext(t *testing.T) {
+	f, cm := faultyPair(t, 1)
+	f.DisconnectNext("cm", "dm", 2)
+	for i := 0; i < 2; i++ {
+		if _, err := cm.Call("dm", &wire.Message{Type: wire.TPull}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("shot %d: %v", i, err)
+		}
+	}
+	if _, err := cm.Call("dm", &wire.Message{Type: wire.TPull}); err != nil {
+		t.Fatalf("after shots exhausted: %v", err)
+	}
+	if got := f.Injected(); got != 2 {
+		t.Fatalf("Injected() = %d, want 2", got)
+	}
+	// The directed edge is one-way: dm->cm was never armed.
+	f.DisconnectNext("cm", "dm", 1)
+	dm, _ := f.Attach("dm3", echoHandler)
+	if _, err := dm.Call("cm", &wire.Message{Type: wire.TPull}); err != nil {
+		t.Fatalf("reverse direction must be unaffected: %v", err)
+	}
+}
+
+func TestFaultyDelay(t *testing.T) {
+	f, cm := faultyPair(t, 1)
+	var slept time.Duration
+	f.SetSleep(func(d time.Duration) { slept += d })
+	f.SetDelay(7 * time.Millisecond)
+	if _, err := cm.Call("dm", &wire.Message{Type: wire.TPull}); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 7*time.Millisecond {
+		t.Fatalf("slept %v, want 7ms", slept)
+	}
+}
+
+// TestFaultyRetryRecovers: CallRetry over a Faulty edge armed with a
+// one-shot disconnect succeeds on the second attempt — the exact shape of
+// a transient blip that must NOT evict a view.
+func TestFaultyRetryRecovers(t *testing.T) {
+	f, cm := faultyPair(t, 1)
+	f.DisconnectNext("cm", "dm", 1)
+	reply, err := CallRetry(cm, "dm", &wire.Message{Type: wire.TPull}, RetryPolicy{
+		Attempts: 3, Base: time.Microsecond, Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatalf("retry should absorb a one-shot disconnect: %v", err)
+	}
+	if reply.Type != wire.TAck {
+		t.Fatalf("reply = %+v", reply)
+	}
+}

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"flecc/internal/wire"
+)
+
+// IsTransportError reports whether err is a transport-level failure — the
+// destination was unreachable, closed, timed out, or a fault was injected —
+// as opposed to a protocol error returned by the remote handler
+// (wire.RemoteError). The distinction drives the failure semantics: a
+// remote error means the peer is alive and answered, so retrying repeats
+// work; a transport error means the request may never have arrived, so the
+// caller may retry, reconnect, or evict the peer.
+func IsTransportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *wire.RemoteError
+	return !errors.As(err, &re)
+}
+
+// Default retry-policy knobs (see RetryPolicy).
+const (
+	DefaultRetryAttempts = 3
+	DefaultRetryBase     = 2 * time.Millisecond
+	DefaultRetryMax      = 50 * time.Millisecond
+)
+
+// RetryPolicy bounds retry-with-backoff around transport-level call
+// failures. The zero value uses the defaults above; Attempts = 1 disables
+// retrying.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first.
+	Attempts int
+	// Base is the backoff before the first retry; it doubles per retry.
+	Base time.Duration
+	// Max caps the backoff.
+	Max time.Duration
+	// Jitter spreads each backoff uniformly over ±Jitter fraction of its
+	// value (0.2 = ±20%), so synchronized retriers decorrelate.
+	Jitter float64
+	// Sleep replaces time.Sleep between attempts; tests use it to avoid
+	// real waiting. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetryAttempts
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultRetryBase
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultRetryMax
+	}
+	return p
+}
+
+// backoff returns the pause after the attempt-th failed try (1-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.Base
+	for i := 1; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 {
+		f := 1 + p.Jitter*(2*rand.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+func (p RetryPolicy) pause(attempt int) {
+	d := p.backoff(attempt)
+	if d <= 0 {
+		return
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// CallRetry issues ep.Call(to, req), retrying transport-level failures
+// under the policy. Remote protocol errors are returned immediately.
+// Endpoints stamp Seq/From on a clone, never on req itself, so re-sending
+// the same message value is safe.
+func CallRetry(ep Endpoint, to string, req *wire.Message, pol RetryPolicy) (*wire.Message, error) {
+	pol = pol.withDefaults()
+	for attempt := 1; ; attempt++ {
+		reply, err := ep.Call(to, req)
+		if err == nil || !IsTransportError(err) || attempt >= pol.Attempts {
+			return reply, err
+		}
+		pol.pause(attempt)
+	}
+}

@@ -30,8 +30,10 @@ type peer struct {
 	seq atomic.Uint64
 
 	// onFirstMessage, if set, is invoked once with the first message
-	// received; the TCP server uses it to learn the remote node's name.
-	onFirstMessage func(from string, p *peer)
+	// received; the TCP server uses it to learn the remote node's name. A
+	// non-nil error rejects the connection: the peer answers with a TErr
+	// frame and shuts down (the name-collision guard).
+	onFirstMessage func(from string, p *peer) error
 	firstOnce      sync.Once
 
 	onClose func(p *peer)
@@ -60,11 +62,19 @@ func (p *peer) readLoop() {
 			p.shutdown(err)
 			return
 		}
+		var rejected error
 		p.firstOnce.Do(func() {
 			if p.onFirstMessage != nil {
-				p.onFirstMessage(m.From, p)
+				rejected = p.onFirstMessage(m.From, p)
 			}
 		})
+		if rejected != nil {
+			p.writeMu.Lock()
+			wire.WriteFrame(p.conn, &wire.Message{Type: wire.TErr, Seq: m.Seq, From: p.name, Err: rejected.Error()})
+			p.writeMu.Unlock()
+			p.shutdown(rejected)
+			return
+		}
 		if m.Type == wire.THello {
 			// Connection handshake: answered here, never dispatched to the
 			// handler. The ack tells the dialer it reached a live peer (a
@@ -127,6 +137,10 @@ func (p *peer) serve(req *wire.Message) (reply *wire.Message) {
 
 func (p *peer) call(req *wire.Message, timeout time.Duration) (*wire.Message, error) {
 	seq := p.seq.Add(1)
+	// Stamp a shallow clone: the caller may retry the same message after a
+	// timeout or failure and must not observe this peer's Seq/From writes.
+	r := *req
+	req = &r
 	req.Seq = seq
 	req.From = p.name
 	ch := make(chan *wire.Message, 1)
@@ -197,6 +211,16 @@ func (p *peer) shutdown(err error) {
 	}
 }
 
+func (p *peer) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// wait blocks until the peer's read loop and in-flight serve goroutines
+// have drained; callers shut the peer down first.
+func (p *peer) wait() { p.wg.Wait() }
+
 // Server is the TCP listener side: it accepts cache-manager connections,
 // routes their requests to the handler, and can initiate calls (e.g.
 // invalidations) to any connected client by node name.
@@ -208,6 +232,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	clients map[string]*peer
+	peers   map[*peer]struct{} // every live connection, named or not yet
 	closed  bool
 	wg      sync.WaitGroup
 }
@@ -215,7 +240,11 @@ type Server struct {
 // Serve starts a server named name on ln. The handler serves client
 // requests. timeout bounds server-initiated calls (0 = no timeout).
 func Serve(ln net.Listener, name string, h Handler, timeout time.Duration) *Server {
-	s := &Server{name: name, ln: ln, handler: h, timeout: timeout, clients: map[string]*peer{}}
+	s := &Server{
+		name: name, ln: ln, handler: h, timeout: timeout,
+		clients: map[string]*peer{},
+		peers:   map[*peer]struct{}{},
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -235,12 +264,22 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		p := newPeer(s.name, conn, s.handler)
-		p.onFirstMessage = func(from string, pr *peer) {
+		p.onFirstMessage = func(from string, pr *peer) error {
 			s.mu.Lock()
-			if !s.closed {
-				s.clients[from] = pr
+			defer s.mu.Unlock()
+			if s.closed {
+				return ErrClosed
 			}
-			s.mu.Unlock()
+			// A second connection claiming a live client's name must not
+			// hijack it: the existing peer's CM still believes it is
+			// attached, and rerouting its server-initiated traffic to the
+			// impostor would silently orphan it. Only a closed (stale)
+			// entry may be replaced — that is the reconnect path.
+			if old, ok := s.clients[from]; ok && old != pr && !old.isClosed() {
+				return fmt.Errorf("transport: node name %q is already connected", from)
+			}
+			s.clients[from] = pr
+			return nil
 		}
 		p.onClose = func(pr *peer) {
 			s.mu.Lock()
@@ -249,8 +288,17 @@ func (s *Server) acceptLoop() {
 					delete(s.clients, n)
 				}
 			}
+			delete(s.peers, pr)
 			s.mu.Unlock()
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.peers[p] = struct{}{}
+		s.mu.Unlock()
 		p.start()
 	}
 }
@@ -279,7 +327,9 @@ func (s *Server) Clients() []string {
 	return out
 }
 
-// Close stops accepting and closes all client connections.
+// Close stops accepting, closes all client connections, and waits for the
+// accept loop and every peer's read/serve goroutines to drain, so state
+// observed after Close is final (no in-flight handler can still mutate it).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -287,15 +337,19 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	clients := make([]*peer, 0, len(s.clients))
-	for _, p := range s.clients {
-		clients = append(clients, p)
+	peers := make([]*peer, 0, len(s.peers))
+	for p := range s.peers {
+		peers = append(peers, p)
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
-	for _, p := range clients {
+	for _, p := range peers {
 		p.shutdown(ErrClosed)
 	}
+	for _, p := range peers {
+		p.wait()
+	}
+	s.wg.Wait()
 	return err
 }
 
@@ -337,7 +391,7 @@ type serverEndpoint struct{ s *Server }
 
 func (e serverEndpoint) Name() string { return e.s.Name() }
 func (e serverEndpoint) Call(to string, req *wire.Message) (*wire.Message, error) {
-	req.From = e.s.Name()
+	// peer.call stamps From (on a clone); nothing to do here.
 	return e.s.Call(to, req)
 }
 func (e serverEndpoint) Close() error { return e.s.Close() }
@@ -365,7 +419,7 @@ func (n *DialNetwork) Attach(name string, h Handler) (Endpoint, error) {
 		if err != nil {
 			return nil, fmt.Errorf("transport: dial %s: %w", n.addr, err)
 		}
-		return DialConn(conn, name, h, n.timeout), nil
+		return DialConn(conn, name, h, n.timeout)
 	}
 	return Dial(n.addr, name, h, n.timeout)
 }
@@ -394,11 +448,7 @@ func Dial(addr, name string, h Handler, timeout time.Duration) (*Client, error) 
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	if err := handshake(conn, name, timeout); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return DialConn(conn, name, h, timeout), nil
+	return DialConn(conn, name, h, timeout)
 }
 
 // handshake announces the dialer's node name with THello and waits for
@@ -418,6 +468,11 @@ func handshake(conn net.Conn, name string, timeout time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("transport: handshake with %s: %w", conn.RemoteAddr(), err)
 	}
+	if reply.Type == wire.TErr {
+		// The server rejected the connection (e.g. the node name is
+		// already in use by a live peer).
+		return fmt.Errorf("transport: handshake with %s: %w", conn.RemoteAddr(), &wire.RemoteError{Msg: reply.Err})
+	}
 	if reply.Type != wire.THelloAck {
 		return fmt.Errorf("transport: handshake with %s: unexpected %s", conn.RemoteAddr(), reply.Type)
 	}
@@ -426,11 +481,18 @@ func handshake(conn net.Conn, name string, timeout time.Duration) error {
 
 // DialConn builds a client over an already-established connection — e.g.
 // one protected by an encryptor/decryptor pair (internal/secure) when the
-// PSF plan calls for privacy over an insecure link.
-func DialConn(conn net.Conn, name string, h Handler, timeout time.Duration) *Client {
+// PSF plan calls for privacy over an insecure link. It performs the same
+// THello handshake as Dial (it used to skip it, so the server only learned
+// the client's name from its first request and an early server-initiated
+// invalidate got ErrUnknownNode); the connection is closed on failure.
+func DialConn(conn net.Conn, name string, h Handler, timeout time.Duration) (*Client, error) {
+	if err := handshake(conn, name, timeout); err != nil {
+		conn.Close()
+		return nil, err
+	}
 	p := newPeer(name, conn, h)
 	p.start()
-	return &Client{p: p, timeout: timeout}
+	return &Client{p: p, timeout: timeout}, nil
 }
 
 // Name implements Endpoint.
@@ -441,8 +503,10 @@ func (c *Client) Call(_ string, req *wire.Message) (*wire.Message, error) {
 	return c.p.call(req, c.timeout)
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint. It waits for the client's read loop and any
+// in-flight server-initiated handlers to drain.
 func (c *Client) Close() error {
 	c.p.shutdown(ErrClosed)
+	c.p.wait()
 	return nil
 }

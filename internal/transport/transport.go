@@ -180,6 +180,11 @@ func (e *inprocEndpoint) Call(to string, req *wire.Message) (*wire.Message, erro
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, to)
 	}
+	// Stamp a shallow clone: the caller may retry the same message after a
+	// failure, or hand it to another endpoint, and must not observe the
+	// transport's Seq/From writes.
+	r := *req
+	req = &r
 	req.Seq = e.net.seq.Add(1)
 	req.From = e.name
 	if f := e.net.faults; f != nil {
