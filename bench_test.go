@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"flecc"
 	"flecc/internal/airline"
@@ -372,6 +373,164 @@ func BenchmarkStoreExtract(b *testing.B) {
 		if _, err := st.Extract(props, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStoreExtractDelta measures a delta pull from a 1000-key
+// primary after a 10-key commit — the hot shape in steady state, where a
+// puller is nearly caught up. "keyed" serves it from the dirty-key index
+// via the codec's ExtractKeys; "full" hides the keyed extension, forcing
+// the classic full-extract + DeltaSince walk over all 1000 keys.
+func BenchmarkStoreExtractDelta(b *testing.B) {
+	build := func(hide bool) (*directory.Store, vclock.Version, property.Set) {
+		db := flecc.NewMapCodec()
+		var codec image.Codec = db
+		if hide {
+			codec = image.FuncCodec{ExtractFn: db.Extract, MergeFn: db.Merge}
+		}
+		st := directory.NewStore(codec, vclock.NewSim())
+		props := property.MustSet("F={1..10}")
+		seed := image.New(props)
+		for k := 0; k < 1000; k++ {
+			seed.Put(image.Entry{Key: fmt.Sprintf("k%04d", k), Value: []byte("value")})
+		}
+		if _, _, _, err := st.Commit("w", seed, 1); err != nil {
+			b.Fatal(err)
+		}
+		since := st.Current()
+		tail := image.New(props)
+		for k := 0; k < 10; k++ {
+			tail.Put(image.Entry{Key: fmt.Sprintf("k%04d", k), Value: []byte("fresh"), Version: since})
+		}
+		if _, _, _, err := st.Commit("w", tail, 1); err != nil {
+			b.Fatal(err)
+		}
+		return st, since, props
+	}
+	for _, tc := range []struct {
+		name string
+		hide bool
+	}{{"keyed", false}, {"full", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			st, since, props := build(tc.hide)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				img, err := st.Extract(props, since)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if img.Len() != 10 {
+					b.Fatalf("delta has %d entries, want 10", img.Len())
+				}
+			}
+		})
+	}
+}
+
+// benchFakeView attaches an endpoint that answers DM-initiated calls with
+// empty success replies and registers it as an active weak view.
+func benchFakeView(b *testing.B, net transport.Network, name string, props property.Set) transport.Endpoint {
+	b.Helper()
+	ep, err := net.Attach(name, func(req *wire.Message) *wire.Message {
+		switch req.Type {
+		case wire.TInvalidate, wire.TPull:
+			return &wire.Message{Type: wire.TImage}
+		default:
+			return &wire.Message{Type: wire.TAck}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if reply, err := ep.Call("dm", &wire.Message{Type: wire.TRegister, View: name, Mode: wire.Weak, Props: props}); err != nil || reply.Type == wire.TErr {
+		b.Fatalf("register %s: %v %v", name, err, reply)
+	}
+	if reply, err := ep.Call("dm", &wire.Message{Type: wire.TInit}); err != nil || reply.Type == wire.TErr {
+		b.Fatalf("init %s: %v %v", name, err, reply)
+	}
+	return ep
+}
+
+// benchContentionNet wires the contention topology both contention
+// benchmarks share: a DM whose links to seven conflicting members cost
+// 500µs each, plus one slow member at 2ms — the "one slow sharer in the
+// conflict group" scenario from the scalability discussion (§4.2).
+func benchContentionNet(b *testing.B, members int) (*transport.Faulty, property.Set) {
+	f := transport.NewFaulty(transport.NewInproc(), 1)
+	props := property.MustSet("P={x}")
+	for i := 0; i < members; i++ {
+		delay := 500 * time.Microsecond
+		if i == members-1 {
+			delay = 2 * time.Millisecond // the slow member
+		}
+		f.SetEdgeDelay("dm", fmt.Sprintf("v%d", i), delay)
+	}
+	return f, props
+}
+
+// BenchmarkPullContention measures one pull that must gather from 8
+// conflicting weak views, one of them slow. At FanOut=1 the pull pays the
+// sum of all link delays; at FanOut>=4 it pays roughly the slow member
+// alone, which is where the >=2x throughput gain comes from.
+func BenchmarkPullContention(b *testing.B) {
+	const members = 8
+	for _, fanout := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			f, props := benchContentionNet(b, members)
+			dm, err := directory.New("dm", flecc.NewMapCodec(), vclock.NewSim(), f, directory.Options{
+				AlwaysGather: true,
+				FanOut:       fanout,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dm.Close()
+			for i := 0; i < members; i++ {
+				benchFakeView(b, f, fmt.Sprintf("v%d", i), props)
+			}
+			puller := benchFakeView(b, f, "puller", props)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reply, err := puller.Call("dm", &wire.Message{Type: wire.TPull})
+				if err != nil || reply.Type != wire.TImage {
+					b.Fatalf("pull: %v %v", err, reply)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPropagateFanout measures one push under PropagateOnPush with 8
+// conflicting active recipients, one slow: the TUpdate distribution round
+// fans out concurrently at FanOut>1.
+func BenchmarkPropagateFanout(b *testing.B) {
+	const members = 8
+	for _, fanout := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			f, props := benchContentionNet(b, members)
+			dm, err := directory.New("dm", flecc.NewMapCodec(), vclock.NewSim(), f, directory.Options{
+				PropagateOnPush: true,
+				FanOut:          fanout,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dm.Close()
+			for i := 0; i < members; i++ {
+				benchFakeView(b, f, fmt.Sprintf("v%d", i), props)
+			}
+			writer := benchFakeView(b, f, "writer", props)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				delta := image.New(props)
+				delta.Put(image.Entry{Key: "k", Value: []byte(fmt.Sprint(i)), Version: dm.CurrentVersion()})
+				reply, err := writer.Call("dm", &wire.Message{Type: wire.TPush, Img: delta, Ops: 1})
+				if err != nil || reply.Type != wire.TAck {
+					b.Fatalf("push: %v %v", err, reply)
+				}
+			}
+		})
 	}
 }
 

@@ -45,13 +45,15 @@ func main() {
 		key        = flag.String("key", "", "shared secret; when set, the link is protected by an encryptor/decryptor pair")
 		ckptPath   = flag.String("checkpoint", "", "file to write protocol-metadata snapshots to (enables fail-over; per-shard files get a .sN suffix)")
 		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "snapshot interval when -checkpoint is set")
-		faultDrop  = flag.Float64("fault-drop", 0, "inject faults: probability [0,1] of dropping any message before delivery")
-		faultDelay = flag.Duration("fault-delay", 0, "inject faults: fixed delay added before delivering each message")
-		faultSeed  = flag.Int64("fault-seed", 1, "seed for the fault injector's random stream (deterministic runs)")
+		faultDrop    = flag.Float64("fault-drop", 0, "inject faults: probability [0,1] of dropping any message before delivery")
+		faultDelay   = flag.Duration("fault-delay", 0, "inject faults: fixed delay added before delivering each message")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault injector's random stream (deterministic runs)")
+		fanOut       = flag.Int("fanout", 0, "max concurrent views contacted per invalidate/gather/propagate round (0 = directory default, 1 = serial)")
+		compactEvery = flag.Duration("compact-every", 0, "update-log compaction interval (0 disables)")
 	)
 	flag.Parse()
 	if err := run(*addr, *name, *flights, *capacity, *shards, *interval, *key, *ckptPath, *ckptEvery,
-		faultOpts{drop: *faultDrop, delay: *faultDelay, seed: *faultSeed}); err != nil {
+		faultOpts{drop: *faultDrop, delay: *faultDelay, seed: *faultSeed}, *fanOut, *compactEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "fleccd:", err)
 		os.Exit(1)
 	}
@@ -66,7 +68,7 @@ type faultOpts struct {
 
 func (f faultOpts) enabled() bool { return f.drop > 0 || f.delay > 0 }
 
-func run(addr, name string, flights, capacity, shards int, statusEvery time.Duration, key, ckptPath string, ckptEvery time.Duration, faults faultOpts) error {
+func run(addr, name string, flights, capacity, shards int, statusEvery time.Duration, key, ckptPath string, ckptEvery time.Duration, faults faultOpts, fanOut int, compactEvery time.Duration) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1")
 	}
@@ -91,7 +93,7 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 		tnet = faulty
 		log.Printf("fleccd: fault injection on (drop=%.2f delay=%s seed=%d)", faults.drop, faults.delay, faults.seed)
 	}
-	opts := directory.Options{Resolver: airline.SeatResolver}
+	opts := directory.Options{Resolver: airline.SeatResolver, FanOut: fanOut}
 
 	d, err := newDeployment(name, db, tnet, shards, opts, ckptPath)
 	if err != nil {
@@ -138,6 +140,12 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 		defer ticker.Stop()
 		tick = ticker.C
 	}
+	var compactTick <-chan time.Time
+	if compactEvery > 0 {
+		t := time.NewTicker(compactEvery)
+		defer t.Stop()
+		compactTick = t.C
+	}
 	for {
 		select {
 		case <-stop:
@@ -146,6 +154,10 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 			return nil
 		case <-ckptTick:
 			checkpoint()
+		case <-compactTick:
+			if n := d.compact(); n > 0 {
+				log.Printf("fleccd: compacted %d update-log records", n)
+			}
 		case <-tick:
 			log.Printf("fleccd: %s", d.status())
 		}
@@ -265,6 +277,45 @@ func (d *deployment) checkpoints() []checkpointUnit {
 	return out
 }
 
+// latencyLine renders the non-empty hot-path latency counters of one or
+// more directory managers ("" when nothing has been observed yet). With
+// several shards, counts and totals are summed so the line reads as one
+// logical directory.
+func latencyLine(dms ...*directory.Manager) string {
+	type acc struct {
+		name  string
+		count int64
+		ns    int64
+	}
+	accs := [3]acc{{name: "pull"}, {name: "push"}, {name: "fanout"}}
+	for _, dm := range dms {
+		pull, push, fanout := dm.Latencies()
+		for i, l := range []*metrics.Latency{pull, push, fanout} {
+			accs[i].count += l.Count()
+			accs[i].ns += l.TotalNs()
+		}
+	}
+	var parts []string
+	for _, a := range accs {
+		if a.count == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s n=%d avg=%s", a.name, a.count, time.Duration(a.ns/a.count)))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "lat " + strings.Join(parts, " ")
+}
+
+// compact drops update-log records every live view has already seen.
+func (d *deployment) compact() int {
+	if d.dm != nil {
+		return d.dm.CompactLog()
+	}
+	return d.svc.CompactAll()
+}
+
 func (d *deployment) status() string {
 	var b strings.Builder
 	if d.dm != nil {
@@ -273,6 +324,9 @@ func (d *deployment) status() string {
 			d.dm.CurrentVersion(), len(views), views, d.dm.Store().ConflictsSeen())
 		if n := d.dm.ViewsEvicted(); n > 0 {
 			fmt.Fprintf(&b, ", %d views evicted %v", n, d.dm.LostViews())
+		}
+		if lat := latencyLine(d.dm); lat != "" {
+			fmt.Fprintf(&b, "; %s", lat)
 		}
 	} else {
 		fmt.Fprintf(&b, "%d shards", d.svc.NumShards())
@@ -284,6 +338,13 @@ func (d *deployment) status() string {
 		}
 		if evicted > 0 {
 			fmt.Fprintf(&b, "; %d views evicted", evicted)
+		}
+		dms := make([]*directory.Manager, 0, d.svc.NumShards())
+		for i := 0; i < d.svc.NumShards(); i++ {
+			dms = append(dms, d.svc.Shard(i))
+		}
+		if lat := latencyLine(dms...); lat != "" {
+			fmt.Fprintf(&b, "; %s", lat)
 		}
 		if per := d.stats.PerShardString(); per != "" {
 			fmt.Fprintf(&b, "; traffic %s", per)

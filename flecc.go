@@ -127,6 +127,7 @@ type sysConfig struct {
 	latency   vclock.Duration
 	resolver  image.Resolver
 	readAware bool
+	fanOut    int
 	stats     bool
 	trace     bool
 	traceCap  int
@@ -147,6 +148,17 @@ func WithResolver(r Resolver) Option {
 // readers coexist instead of invalidating each other.
 func WithReadAware() Option {
 	return func(c *sysConfig) { c.readAware = true }
+}
+
+// WithFanOut bounds how many views the directory manager contacts
+// concurrently per invalidate/gather/propagate round. The default is 1:
+// a System runs on the simulated network, where virtual latency is
+// charged serially, so serial rounds cost nothing and keep traces and
+// virtual timestamps deterministic. Raise it to exercise the concurrent
+// hot path (real deployments via internal/directory default to
+// directory.DefaultFanOut).
+func WithFanOut(n int) Option {
+	return func(c *sysConfig) { c.fanOut = n }
 }
 
 // WithMessageStats enables message counting (see System.Messages).
@@ -200,9 +212,14 @@ func New(name string, primary Codec, opts ...Option) (*System, error) {
 		rec = trace.NewRecorder(cfg.traceCap)
 		net.SetObserver(rec)
 	}
+	fanOut := cfg.fanOut
+	if fanOut == 0 {
+		fanOut = 1 // serial by default on the simulated network (see WithFanOut)
+	}
 	dm, err := directory.New(name, primary, cfg.clock, net, directory.Options{
 		Resolver:  cfg.resolver,
 		ReadAware: cfg.readAware,
+		FanOut:    fanOut,
 	})
 	if err != nil {
 		return nil, err
@@ -447,6 +464,26 @@ func (m *MapCodec) Extract(props Props) (*Image, error) {
 	return img, nil
 }
 
+// ExtractKeys implements image.KeyedExtractor: it snapshots just the
+// requested keys (absent keys are omitted), letting the directory store
+// serve delta pulls without walking the whole map. Like Extract, it does
+// not interpret props.
+func (m *MapCodec) ExtractKeys(props Props, keys []string) (*Image, error) {
+	m.lock()
+	defer m.unlock()
+	img := image.New(props.Clone())
+	for _, k := range keys {
+		v, ok := m.data[k]
+		if !ok {
+			continue
+		}
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		img.Put(image.Entry{Key: k, Value: cp})
+	}
+	return img, nil
+}
+
 // Merge implements Codec.
 func (m *MapCodec) Merge(img *Image, props Props) error {
 	m.lock()
@@ -464,3 +501,4 @@ func (m *MapCodec) Merge(img *Image, props Props) error {
 }
 
 var _ Codec = (*MapCodec)(nil)
+var _ image.KeyedExtractor = (*MapCodec)(nil)

@@ -237,6 +237,33 @@ func (rs *ReservationSystem) Extract(props property.Set) (*image.Image, error) {
 	return img, nil
 }
 
+// ExtractKeys implements image.KeyedExtractor: it snapshots just the
+// requested flights, applying the same "Flights" domain restriction as
+// Extract, so the directory store can serve delta pulls by looking up the
+// handful of flights that changed instead of walking the whole database.
+// Non-flight keys and absent flights are omitted.
+func (rs *ReservationSystem) ExtractKeys(props property.Set, keys []string) (*image.Image, error) {
+	dom, restricted := flightsDomain(props)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	img := image.New(props.Clone())
+	for _, key := range keys {
+		n, err := ParseFlightKey(key)
+		if err != nil {
+			continue // foreign entries are not ours to interpret
+		}
+		if restricted && !dom.ContainsValue(float64(n)) {
+			continue
+		}
+		f, ok := rs.flights[n]
+		if !ok {
+			continue
+		}
+		img.Put(image.Entry{Key: f.Key(), Value: f.Encode()})
+	}
+	return img, nil
+}
+
 // Merge implements the Flecc merge method (mergeIntoObject /
 // mergeIntoView): it folds flight entries into the store, honoring the
 // property restriction and tombstones.
@@ -264,6 +291,11 @@ func (rs *ReservationSystem) Merge(img *image.Image, props property.Set) error {
 	}
 	return nil
 }
+
+var (
+	_ image.Codec          = (*ReservationSystem)(nil)
+	_ image.KeyedExtractor = (*ReservationSystem)(nil)
+)
 
 // SeatResolver is the application conflict resolver for concurrent
 // reservations: when two agents sold seats on the same flight based on the

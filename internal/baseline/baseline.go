@@ -29,6 +29,9 @@ func NewMulticast(name string, primary image.Codec, clock vclock.Clock, net tran
 	return directory.New(name, primary, clock, net, directory.Options{
 		GatherAll:    true,
 		AlwaysGather: true,
+		// Serial rounds: baseline comparisons run on the deterministic
+		// virtual-clock harness.
+		FanOut: 1,
 	})
 }
 
@@ -53,6 +56,7 @@ func NewTimeSharing(name string, primary image.Codec, clock vclock.Clock, net tr
 	dm, err := directory.New(name, primary, clock, net, directory.Options{
 		NeverGather: true,
 		Handler:     ts.handle,
+		FanOut:      1,
 	})
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package directory
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"flecc/internal/image"
 	"flecc/internal/metrics"
@@ -58,7 +59,16 @@ type Options struct {
 	// target view unreachable and evicting it. The zero value uses the
 	// transport defaults.
 	Retry transport.RetryPolicy
+	// FanOut bounds how many views a DM-initiated round (invalidate,
+	// gather, propagate) contacts concurrently. 0 means DefaultFanOut;
+	// 1 preserves the serial, deterministic contact order the experiment
+	// harness depends on (and what the paper describes). With FanOut > 1 a
+	// slow or dying view costs its own retry budget, not everyone else's.
+	FanOut int
 }
+
+// DefaultFanOut is the fan-out bound applied when Options.FanOut is 0.
+const DefaultFanOut = 4
 
 // viewState is the DM-side record for one registered view.
 type viewState struct {
@@ -86,6 +96,12 @@ type Manager struct {
 	// answering DM-initiated calls (the ViewsEvicted metric).
 	evictions *metrics.Counter
 
+	// Hot-path latency accounting: whole pulls, whole pushes, and the
+	// fan-out rounds inside them.
+	latPull   *metrics.Latency
+	latPush   *metrics.Latency
+	latFanout *metrics.Latency
+
 	mu    sync.Mutex
 	views map[string]*viewState
 }
@@ -102,6 +118,9 @@ func New(name string, primary image.Codec, clock vclock.Clock, net transport.Net
 		opts:      opts,
 		views:     map[string]*viewState{},
 		evictions: metrics.NewCounter(name + ".views_evicted"),
+		latPull:   metrics.NewLatency("pull"),
+		latPush:   metrics.NewLatency("push"),
+		latFanout: metrics.NewLatency("fanout"),
 	}
 	if opts.Resolver != nil {
 		m.store.SetResolver(opts.Resolver)
@@ -145,20 +164,27 @@ func (m *Manager) Views() []string { return m.reg.Views() }
 func (m *Manager) UnseenCommitted(view string) int {
 	m.mu.Lock()
 	vs, ok := m.views[view]
+	var seen vclock.Version
+	if ok {
+		seen = vs.seen
+	}
 	m.mu.Unlock()
 	if !ok {
 		return 0
 	}
 	props, _ := m.reg.Props(view)
-	m.mu.Lock()
-	seen := vs.seen
-	m.mu.Unlock()
 	return m.store.UnseenOps(seen, view, props)
 }
 
 // ViewsEvicted returns how many views this manager has evicted because
 // their cache manager stopped answering DM-initiated calls.
 func (m *Manager) ViewsEvicted() int64 { return m.evictions.Value() }
+
+// Latencies exposes the manager's hot-path latency accumulators: whole
+// pulls, whole pushes, and the DM-initiated fan-out rounds inside them.
+func (m *Manager) Latencies() (pull, push, fanout *metrics.Latency) {
+	return m.latPull, m.latPush, m.latFanout
+}
 
 // LostViews returns the names of currently evicted (lost) views.
 func (m *Manager) LostViews() []string { return m.reg.LostViews() }
@@ -317,6 +343,8 @@ func (m *Manager) handleInit(req *wire.Message) *wire.Message {
 // gathering their pending updates (weak mode with an unhappy validity
 // trigger) before extracting the primary data for the requester.
 func (m *Manager) handlePull(req *wire.Message) *wire.Message {
+	start := time.Now()
+	defer func() { m.latPull.Observe(time.Since(start)) }()
 	view := req.From
 	vs, ok := m.viewState(view)
 	if !ok {
@@ -331,6 +359,7 @@ func (m *Manager) handlePull(req *wire.Message) *wire.Message {
 	// active view; a weak-mode pull only stops conflicting active
 	// strong-mode views (their one-copy guarantee would otherwise be
 	// violated by a second active sharer).
+	var inval []string
 	for _, other := range m.conflictSet(view, true) {
 		os, ok := m.viewState(other)
 		if !ok {
@@ -348,22 +377,30 @@ func (m *Manager) handlePull(req *wire.Message) *wire.Message {
 				invalidate = false
 			}
 		}
-		if !invalidate {
-			continue
+		if invalidate {
+			inval = append(inval, other)
 		}
+	}
+	if err := m.forEachTarget(inval, func(other string) error {
 		if err := m.invalidateView(other); err != nil {
-			return errf("invalidate %s: %v", other, err)
+			return fmt.Errorf("invalidate %s: %v", other, err)
 		}
+		return nil
+	}); err != nil {
+		return errf("%v", err)
 	}
 
 	// 2. Gathering: when the primary's data is not "good enough" for this
 	// view, fetch pending updates from the other active sharers first.
 	if m.shouldGather(vs, req) {
 		targets := m.gatherTargets(view)
-		for _, other := range targets {
+		if err := m.forEachTarget(targets, func(other string) error {
 			if err := m.fetchFrom(other); err != nil {
-				return errf("fetch from %s: %v", other, err)
+				return fmt.Errorf("fetch from %s: %v", other, err)
 			}
+			return nil
+		}); err != nil {
+			return errf("%v", err)
 		}
 	}
 
@@ -416,12 +453,10 @@ func (m *Manager) shouldGather(vs *viewState, req *wire.Message) bool {
 	}
 	// The validity trigger answers "is the primary data good enough?".
 	// Its environment exposes the discrete time t, the primary version,
-	// and the view's committed staleness.
-	props, _ := m.reg.Props(vs.name)
-	env := trigger.MapEnv{
-		"version":   float64(m.store.Current()),
-		"staleness": float64(m.store.UnseenOps(seen, vs.name, props)),
-	}
+	// and the view's committed staleness. Staleness is a log walk, so the
+	// env computes it lazily — only for triggers that mention it, and only
+	// once per evaluation however often they mention it.
+	env := &validityEnv{m: m, view: vs.name, seen: seen}
 	good, err := val.Fire(float64(m.clock.Now()), env)
 	if err != nil {
 		// A broken trigger must not stall the protocol; be conservative
@@ -431,8 +466,87 @@ func (m *Manager) shouldGather(vs *viewState, req *wire.Message) bool {
 	return !good
 }
 
+// validityEnv is the lazy, memoized trigger environment for shouldGather:
+// "version" reads the counter, "staleness" walks the update log via
+// UnseenOps at most once per trigger evaluation.
+type validityEnv struct {
+	m    *Manager
+	view string
+	seen vclock.Version
+
+	staleness     float64
+	haveStaleness bool
+}
+
+// Lookup implements trigger.Env.
+func (e *validityEnv) Lookup(name string) (float64, bool) {
+	switch name {
+	case "version":
+		return float64(e.m.store.Current()), true
+	case "staleness":
+		if !e.haveStaleness {
+			props, _ := e.m.reg.Props(e.view)
+			e.staleness = float64(e.m.store.UnseenOps(e.seen, e.view, props))
+			e.haveStaleness = true
+		}
+		return e.staleness, true
+	}
+	return 0, false
+}
+
 func (m *Manager) gatherTargets(view string) []string {
 	return m.conflictSet(view, true)
+}
+
+// fanOut resolves the effective fan-out bound.
+func (m *Manager) fanOut() int {
+	if m.opts.FanOut > 0 {
+		return m.opts.FanOut
+	}
+	return DefaultFanOut
+}
+
+// forEachTarget runs one DM-initiated round — call once per target —
+// bounded by the configured fan-out. At FanOut=1 (or a single target) the
+// calls run serially in slice order and the round aborts on the first
+// error, exactly the pre-concurrency behavior the deterministic experiment
+// harness relies on. At FanOut>1 every target is contacted regardless of
+// other targets' failures (each call carries its own eviction semantics),
+// and the first error in slice order is reported afterwards.
+func (m *Manager) forEachTarget(targets []string, call func(target string) error) error {
+	if len(targets) == 0 {
+		return nil
+	}
+	start := time.Now()
+	defer func() { m.latFanout.Observe(time.Since(start)) }()
+	fo := m.fanOut()
+	if fo <= 1 || len(targets) == 1 {
+		for _, t := range targets {
+			if err := call(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, fo)
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, t string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = call(t)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // callView is every DM-initiated call: bounded retry-with-backoff under
@@ -500,6 +614,8 @@ func (m *Manager) commitReply(writer string, reply *wire.Message) error {
 }
 
 func (m *Manager) handlePush(req *wire.Message) *wire.Message {
+	start := time.Now()
+	defer func() { m.latPush.Observe(time.Since(start)) }()
 	view := req.From
 	if _, ok := m.viewState(view); !ok {
 		return errf("push from unregistered view %s", view)
@@ -522,10 +638,10 @@ func (m *Manager) handlePush(req *wire.Message) *wire.Message {
 // active view (excluding the writer), restricted to each recipient's
 // property set and trimmed to entries it has not seen.
 func (m *Manager) propagate(writer string, ver vclock.Version) error {
-	for _, other := range m.conflictSet(writer, true) {
+	return m.forEachTarget(m.conflictSet(writer, true), func(other string) error {
 		os, ok := m.viewState(other)
 		if !ok {
-			continue
+			return nil
 		}
 		props, _ := m.reg.Props(other)
 		m.mu.Lock()
@@ -536,7 +652,7 @@ func (m *Manager) propagate(writer string, ver vclock.Version) error {
 			return err
 		}
 		if img.Len() == 0 {
-			continue
+			return nil
 		}
 		reply, err := m.callView(other, &wire.Message{Type: wire.TUpdate, View: other, Img: img, Version: ver})
 		if err != nil {
@@ -544,7 +660,7 @@ func (m *Manager) propagate(writer string, ver vclock.Version) error {
 				// An unreachable recipient is evicted, not allowed to fail
 				// the writer's push; it will catch up on re-register.
 				m.evictView(other)
-				continue
+				return nil
 			}
 			return fmt.Errorf("update %s: %w", other, err)
 		}
@@ -554,8 +670,8 @@ func (m *Manager) propagate(writer string, ver vclock.Version) error {
 			os.seen = ver
 		}
 		m.mu.Unlock()
-	}
-	return nil
+		return nil
+	})
 }
 
 func (m *Manager) handleSetMode(req *wire.Message) *wire.Message {

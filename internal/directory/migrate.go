@@ -160,6 +160,8 @@ func (s *Store) Absorb(snap *Snapshot) error {
 	for s.counter.Current() < snap.Version {
 		s.counter.Next()
 	}
+	s.rebuildDirtyLocked()
+	s.gen++
 	return nil
 }
 

@@ -38,8 +38,8 @@ type Snapshot struct {
 
 // Snapshot captures the store's current metadata.
 func (s *Store) Snapshot() *Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	snap := &Snapshot{Version: s.counter.Current()}
 	for k, sh := range s.shadow {
 		snap.Shadow = append(snap.Shadow, ShadowRec{
@@ -71,6 +71,8 @@ func (s *Store) Restore(snap *Snapshot) error {
 	for s.counter.Current() < snap.Version {
 		s.counter.Next()
 	}
+	s.rebuildDirtyLocked()
+	s.gen++
 	return nil
 }
 

@@ -8,6 +8,7 @@ package directory
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"flecc/internal/image"
@@ -39,6 +40,17 @@ type shadowEntry struct {
 	deleted bool
 }
 
+// dirtyRec is one record in the store's version-ordered dirty-key index:
+// key changed at version. Commit appends records in version order, so the
+// slice stays sorted without ever sorting on the hot path. When a key is
+// committed again, its old record is not removed (that would be O(n)); it
+// becomes stale — detectable because the shadow's version for the key has
+// moved on — and is skipped on reads and dropped on the next rebuild.
+type dirtyRec struct {
+	version vclock.Version
+	key     string
+}
+
 // Store wraps the original component's extract/merge codec with the
 // protocol metadata Flecc maintains around it: a monotonic version
 // counter, a per-key shadow of (version, writer) used for conflict
@@ -46,12 +58,27 @@ type shadowEntry struct {
 // application-neutral half of the directory manager: it never interprets
 // entry payloads.
 type Store struct {
-	mu      sync.Mutex
+	// mu is a reader/writer lock: commits take the write side, extracts and
+	// quality queries the read side, so concurrent pulls of non-conflicting
+	// views no longer serialize on the store.
+	mu      sync.RWMutex
 	primary image.Codec
-	clock   vclock.Clock
+	// keyed is primary's keyed-extraction extension when it has one; nil
+	// means delta pulls fall back to full extract + DeltaSince.
+	keyed image.KeyedExtractor
+	clock vclock.Clock
 	counter vclock.Counter
-	shadow  map[string]shadowEntry
-	log     []UpdateRec
+	// gen counts metadata mutations (commits, restores, absorbs). Extract
+	// snapshots it, calls the primary codec *outside* the lock, and
+	// revalidates: an unchanged gen proves nothing moved underneath the
+	// unlocked codec call.
+	gen    uint64
+	shadow map[string]shadowEntry
+	// dirty is the version-ordered dirty-key index feeding incremental
+	// extraction; stale counts its superseded records, driving rebuilds.
+	dirty []dirtyRec
+	stale int
+	log   []UpdateRec
 	// resolver adjudicates concurrent-update conflicts; nil means
 	// last-writer-wins in commit order (the incoming update wins, since it
 	// is the latest).
@@ -62,8 +89,10 @@ type Store struct {
 
 // NewStore builds a store around the original component's codec.
 func NewStore(primary image.Codec, clock vclock.Clock) *Store {
+	keyed, _ := primary.(image.KeyedExtractor)
 	return &Store{
 		primary: primary,
+		keyed:   keyed,
 		clock:   clock,
 		shadow:  map[string]shadowEntry{},
 	}
@@ -83,8 +112,8 @@ func (s *Store) Current() vclock.Version { return s.counter.Current() }
 // ConflictsSeen returns the number of concurrent-update conflicts detected
 // so far.
 func (s *Store) ConflictsSeen() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.conflictsSeen
 }
 
@@ -169,9 +198,17 @@ func (s *Store) Commit(writer string, delta *image.Image, ops int) (vclock.Versi
 		theirs.Version = newVer
 		theirs.Writer = writer
 		apply.Put(theirs)
+		if _, existed := s.shadow[k]; existed {
+			// The key's previous dirty record is now superseded.
+			s.stale++
+		}
 		s.shadow[k] = shadowEntry{version: newVer, writer: writer, deleted: theirs.Deleted}
+		s.dirty = append(s.dirty, dirtyRec{version: newVer, key: k})
 	}
 	s.conflictsSeen += conflicts
+	if s.stale > len(s.shadow)+16 {
+		s.rebuildDirtyLocked()
+	}
 
 	apply.Version = newVer
 	if apply.Len() > 0 {
@@ -186,6 +223,7 @@ func (s *Store) Commit(writer string, delta *image.Image, ops int) (vclock.Versi
 		Ops:     ops,
 		At:      s.clock.Now(),
 	})
+	s.gen++
 	rejected.Version = newVer
 	if rejected.Len() == 0 {
 		return newVer, conflicts, nil, nil
@@ -193,19 +231,148 @@ func (s *Store) Commit(writer string, delta *image.Image, ops int) (vclock.Versi
 	return newVer, conflicts, rejected, nil
 }
 
+// rebuildDirtyLocked regenerates the dirty index from the shadow: one
+// record per key at its current version, sorted by (version, key). Called
+// under the write lock when stale records pile up or when the shadow is
+// replaced wholesale (Restore/Absorb).
+func (s *Store) rebuildDirtyLocked() {
+	s.dirty = s.dirty[:0]
+	for k, sh := range s.shadow {
+		s.dirty = append(s.dirty, dirtyRec{version: sh.version, key: k})
+	}
+	sort.Slice(s.dirty, func(i, j int) bool {
+		if s.dirty[i].version != s.dirty[j].version {
+			return s.dirty[i].version < s.dirty[j].version
+		}
+		return s.dirty[i].key < s.dirty[j].key
+	})
+	s.stale = 0
+}
+
 // Extract snapshots the primary copy restricted to props, stamps entries
 // with their shadow metadata, and — when since > 0 — trims the result to
 // entries committed after since (a delta). The image's Version is always
 // the current primary version.
+//
+// Delta pulls of a keyed primary take the incremental path: the dirty-key
+// index pinpoints exactly which keys changed after since, so only those
+// keys are extracted instead of snapshotting everything and discarding
+// most of it. Either way the primary codec is called outside the store
+// lock — a generation check detects a racing commit and retries.
 func (s *Store) Extract(props property.Set, since vclock.Version) (*image.Image, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	img, err := s.primary.Extract(props)
-	if err != nil {
-		return nil, fmt.Errorf("directory: extract from primary: %w", err)
+	if since > 0 && s.keyed != nil {
+		img, ok, err := s.extractDelta(props, since)
+		if ok {
+			return img, err
+		}
 	}
-	if img == nil {
+	return s.extractFull(props, since)
+}
+
+// extractFull is the classic path: full primary snapshot, shadow overlay,
+// tombstone synthesis, optional DeltaSince trim.
+func (s *Store) extractFull(props property.Set, since vclock.Version) (*image.Image, error) {
+	for attempt := 0; ; attempt++ {
+		// After two generation-check failures, hold the read lock across the
+		// codec call; progress beats parallelism under a commit storm.
+		locked := attempt >= 2
+		s.mu.RLock()
+		gen := s.gen
+		ver := s.counter.Current()
+		if !locked {
+			s.mu.RUnlock()
+		}
+		img, err := s.primary.Extract(props)
+		if err != nil {
+			if locked {
+				s.mu.RUnlock()
+			}
+			return nil, fmt.Errorf("directory: extract from primary: %w", err)
+		}
+		if img == nil {
+			img = image.New(props.Clone())
+		}
+		if !locked {
+			s.mu.RLock()
+			if s.gen != gen {
+				s.mu.RUnlock()
+				continue // a commit raced the unlocked snapshot; retry
+			}
+		}
+		for k, e := range img.Entries {
+			if sh, ok := s.shadow[k]; ok {
+				e.Version = sh.version
+				e.Writer = sh.writer
+				img.Entries[k] = e
+			}
+		}
+		// Deleted keys are gone from the primary extract, so a puller would
+		// never learn about them; synthesize tombstones from the shadow.
+		// (Merging a tombstone for a key a view never held is a harmless
+		// no-op, so tombstones are not filtered by props.)
+		for k, sh := range s.shadow {
+			if !sh.deleted {
+				continue
+			}
+			if _, present := img.Get(k); present {
+				continue
+			}
+			img.Put(image.Entry{Key: k, Version: sh.version, Writer: sh.writer, Deleted: true})
+		}
+		s.mu.RUnlock()
+		img.Version = ver
+		if since > 0 {
+			img = img.DeltaSince(since)
+		}
+		return img, nil
+	}
+}
+
+// extractDelta serves Extract(props, since>0) from the dirty-key index:
+// binary-search the index for the first change after since, partition the
+// tail into live keys and tombstones, and ask the keyed primary for just
+// the live keys. Returns ok=false to fall back to the full path when a
+// commit races the unlocked codec call.
+func (s *Store) extractDelta(props property.Set, since vclock.Version) (*image.Image, bool, error) {
+	s.mu.RLock()
+	gen := s.gen
+	ver := s.counter.Current()
+	start := sort.Search(len(s.dirty), func(i int) bool { return s.dirty[i].version > since })
+	var liveKeys []string
+	var tombs []image.Entry
+	for i := start; i < len(s.dirty); i++ {
+		rec := s.dirty[i]
+		sh, ok := s.shadow[rec.key]
+		if !ok || sh.version != rec.version {
+			continue // superseded record; the key's current version has its own
+		}
+		if sh.deleted {
+			// Tombstones are not filtered by props, mirroring the full path.
+			tombs = append(tombs, image.Entry{Key: rec.key, Version: sh.version, Writer: sh.writer, Deleted: true})
+		} else {
+			liveKeys = append(liveKeys, rec.key)
+		}
+	}
+	s.mu.RUnlock()
+
+	var img *image.Image
+	if len(liveKeys) == 0 {
 		img = image.New(props.Clone())
+	} else {
+		var err error
+		img, err = s.keyed.ExtractKeys(props, liveKeys)
+		if err != nil {
+			return nil, true, fmt.Errorf("directory: extract from primary: %w", err)
+		}
+		if img == nil {
+			img = image.New(props.Clone())
+		}
+	}
+
+	s.mu.RLock()
+	if s.gen != gen {
+		s.mu.RUnlock()
+		return nil, false, nil // a commit raced; take the full path
 	}
 	for k, e := range img.Entries {
 		if sh, ok := s.shadow[k]; ok {
@@ -214,24 +381,14 @@ func (s *Store) Extract(props property.Set, since vclock.Version) (*image.Image,
 			img.Entries[k] = e
 		}
 	}
-	// Deleted keys are gone from the primary extract, so a puller would
-	// never learn about them; synthesize tombstones from the shadow.
-	// (Merging a tombstone for a key a view never held is a harmless
-	// no-op, so tombstones are not filtered by props.)
-	for k, sh := range s.shadow {
-		if !sh.deleted {
-			continue
+	s.mu.RUnlock()
+	for _, t := range tombs {
+		if _, present := img.Get(t.Key); !present {
+			img.Put(t)
 		}
-		if _, present := img.Get(k); present {
-			continue
-		}
-		img.Put(image.Entry{Key: k, Version: sh.version, Writer: sh.writer, Deleted: true})
 	}
-	img.Version = s.counter.Current()
-	if since > 0 {
-		img = img.DeltaSince(since)
-	}
-	return img, nil
+	img.Version = ver
+	return img, true, nil
 }
 
 // UnseenOps implements the paper's data-quality metric for the committed
@@ -239,8 +396,8 @@ func (s *Store) Extract(props property.Set, since vclock.Version) (*image.Image,
 // committed after the given version, (ii) were written by someone other
 // than viewer, and (iii) touch data overlapping the viewer's props.
 func (s *Store) UnseenOps(since vclock.Version, viewer string, props property.Set) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	total := 0
 	for i := len(s.log) - 1; i >= 0; i-- {
 		rec := s.log[i]
@@ -260,8 +417,8 @@ func (s *Store) UnseenOps(since vclock.Version, viewer string, props property.Se
 
 // Log returns a copy of the update log (for tests and tools).
 func (s *Store) Log() []UpdateRec {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]UpdateRec, len(s.log))
 	copy(out, s.log)
 	return out

@@ -152,7 +152,8 @@ func RunAblationRW(agents, ops int) (*AblationRWResult, error) {
 		net.SetObserver(stats)
 		db := airline.NewReservationSystem()
 		airline.SeedFlights(db, 100, 10, 100)
-		_, err := directory.New("db", db, clock, net, directory.Options{ReadAware: aware})
+		// FanOut=1: deterministic serial rounds for reproducible outputs.
+		_, err := directory.New("db", db, clock, net, directory.Options{ReadAware: aware, FanOut: 1})
 		if err != nil {
 			return nil, err
 		}

@@ -116,6 +116,10 @@ func NewDeployment(cfg DeployConfig) (*Deployment, error) {
 		d.DM, err = directory.New("db", d.DB, d.Clock, d.Net, directory.Options{
 			Resolver:        airline.SeatResolver,
 			PropagateOnPush: cfg.PropagateOnPush,
+			// The netsim latency model charges the virtual clock serially;
+			// FanOut=1 keeps DM-initiated rounds in deterministic order so
+			// figure outputs stay exactly reproducible.
+			FanOut: 1,
 		})
 	default:
 		return nil, fmt.Errorf("experiments: unknown protocol %q", cfg.Protocol)

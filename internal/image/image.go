@@ -164,6 +164,22 @@ type Merger interface {
 	Merge(img *Image, props property.Set) error
 }
 
+// KeyedExtractor is an optional extension of Extractor: a codec that can
+// produce an image of *specific keys* without walking its whole state. The
+// directory store uses it to serve delta pulls incrementally — it knows
+// (from its dirty-key index) exactly which keys changed since the puller's
+// version, so a keyed codec turns a full extract-and-discard into a lookup
+// of just those keys.
+//
+// Contract: the result must contain exactly the requested keys that (a)
+// currently exist in the replica and (b) pass the same property
+// restriction Extract applies; keys that are absent or filtered out are
+// simply omitted. Entry Version/Writer must be left zero, exactly as
+// Extract leaves them — the store stamps provenance from its shadow.
+type KeyedExtractor interface {
+	ExtractKeys(props property.Set, keys []string) (*Image, error)
+}
+
 // Codec combines both directions; most application components implement
 // the full Codec.
 type Codec interface {

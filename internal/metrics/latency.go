@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Latency accumulates a nanosecond total and an observation count for one
+// named operation — the per-DM pull/push/fanout hot-path counters. It is
+// safe for concurrent use and cheap enough to sit on every request.
+type Latency struct {
+	name  string
+	count atomic.Int64
+	ns    atomic.Int64
+}
+
+// NewLatency returns a zeroed latency accumulator with the given name.
+func NewLatency(name string) *Latency { return &Latency{name: name} }
+
+// Name returns the accumulator's name.
+func (l *Latency) Name() string { return l.name }
+
+// Observe records one operation that took d.
+func (l *Latency) Observe(d time.Duration) {
+	l.count.Add(1)
+	l.ns.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (l *Latency) Count() int64 { return l.count.Load() }
+
+// TotalNs returns the accumulated nanoseconds.
+func (l *Latency) TotalNs() int64 { return l.ns.Load() }
+
+// Mean returns the average observation (0 when empty).
+func (l *Latency) Mean() time.Duration {
+	n := l.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(l.ns.Load() / n)
+}
+
+// String renders "name n=<count> avg=<mean>" for status logs.
+func (l *Latency) String() string {
+	return fmt.Sprintf("%s n=%d avg=%s", l.name, l.Count(), l.Mean())
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyAccumulates(t *testing.T) {
+	l := NewLatency("pull")
+	if l.Name() != "pull" {
+		t.Fatalf("name = %q", l.Name())
+	}
+	if l.Count() != 0 || l.TotalNs() != 0 || l.Mean() != 0 {
+		t.Fatalf("fresh latency not zero: %s", l)
+	}
+	l.Observe(10 * time.Millisecond)
+	l.Observe(30 * time.Millisecond)
+	if l.Count() != 2 {
+		t.Fatalf("count = %d, want 2", l.Count())
+	}
+	if got := l.TotalNs(); got != int64(40*time.Millisecond) {
+		t.Fatalf("total = %d ns", got)
+	}
+	if got := l.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("mean = %s, want 20ms", got)
+	}
+}
+
+func TestLatencyConcurrent(t *testing.T) {
+	l := NewLatency("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", l.Count())
+	}
+	if l.TotalNs() != 8000*int64(time.Microsecond) {
+		t.Fatalf("total = %d", l.TotalNs())
+	}
+}

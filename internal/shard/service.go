@@ -162,7 +162,35 @@ func (s *Service) Seen(view string) vclock.Version {
 	return dm.Seen(view)
 }
 
-// Close detaches the router and every shard directory manager.
+// CompactAll runs log compaction on every shard concurrently and returns
+// the total number of update records dropped. Each shard only drops what
+// all of its own live views have already seen, so quality accounting stays
+// exact; the fan-out just keeps one busy shard's store lock from
+// serializing the sweep.
+func (s *Service) CompactAll() int {
+	s.mu.Lock()
+	dms := append([]*directory.Manager(nil), s.dms...)
+	s.mu.Unlock()
+	dropped := make([]int, len(dms))
+	var wg sync.WaitGroup
+	for i, dm := range dms {
+		wg.Add(1)
+		go func(i int, dm *directory.Manager) {
+			defer wg.Done()
+			dropped[i] = dm.CompactLog()
+		}(i, dm)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range dropped {
+		total += n
+	}
+	return total
+}
+
+// Close detaches the router and every shard directory manager. The shard
+// teardowns fan out concurrently; a TCP-backed deployment with many shards
+// should not pay N sequential connection drains.
 func (s *Service) Close() error {
 	var first error
 	if s.r != nil {
@@ -171,8 +199,18 @@ func (s *Service) Close() error {
 	s.mu.Lock()
 	dms := s.dms
 	s.mu.Unlock()
-	for _, dm := range dms {
-		if err := dm.Close(); err != nil && first == nil {
+	errs := make([]error, len(dms))
+	var wg sync.WaitGroup
+	for i, dm := range dms {
+		wg.Add(1)
+		go func(i int, dm *directory.Manager) {
+			defer wg.Done()
+			errs[i] = dm.Close()
+		}(i, dm)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && first == nil {
 			first = err
 		}
 	}

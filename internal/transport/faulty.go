@@ -34,6 +34,7 @@ type Faulty struct {
 	rng      *rand.Rand
 	drop     float64
 	delay    time.Duration
+	edges    map[[2]string]time.Duration
 	parts    map[[2]string]bool
 	isolated map[string]bool
 	oneshot  map[[2]string]int
@@ -47,6 +48,7 @@ func NewFaulty(inner Network, seed int64) *Faulty {
 	return &Faulty{
 		inner:    inner,
 		rng:      rand.New(rand.NewSource(seed)),
+		edges:    map[[2]string]time.Duration{},
 		parts:    map[[2]string]bool{},
 		isolated: map[string]bool{},
 		oneshot:  map[[2]string]int{},
@@ -81,6 +83,19 @@ func (f *Faulty) SetDropRate(p float64) {
 func (f *Faulty) SetDelay(d time.Duration) {
 	f.mu.Lock()
 	f.delay = d
+	f.mu.Unlock()
+}
+
+// SetEdgeDelay adds a latency to every call on the directed edge from→to,
+// on top of the global SetDelay — the shape of one slow member in an
+// otherwise healthy group. d <= 0 removes the edge delay.
+func (f *Faulty) SetEdgeDelay(from, to string, d time.Duration) {
+	f.mu.Lock()
+	if d <= 0 {
+		delete(f.edges, [2]string{from, to})
+	} else {
+		f.edges[[2]string{from, to}] = d
+	}
 	f.mu.Unlock()
 }
 
@@ -179,7 +194,7 @@ func (f *Faulty) inject(from, to string) (time.Duration, error) {
 		f.injected++
 		return 0, fmt.Errorf("%w: dropped %s->%s", ErrInjected, from, to)
 	}
-	return f.delay, nil
+	return f.delay + f.edges[[2]string{from, to}], nil
 }
 
 type faultyEndpoint struct {

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"flecc/internal/image"
+	"flecc/internal/property"
+	"flecc/internal/vclock"
+)
+
+func allocTestMessage(entries int) *Message {
+	img := image.New(property.MustSet("Flights={100..139}"))
+	for i := 0; i < entries; i++ {
+		img.Put(image.Entry{
+			Key:     fmt.Sprintf("flight/%03d", i),
+			Value:   []byte("NYC|SFO|200|57|19900"),
+			Version: vclock.Version(i),
+			Writer:  "agent-042",
+		})
+	}
+	img.Version = vclock.Version(entries)
+	return &Message{
+		Type: TPush, Seq: 42, From: "agent-042", View: "agent-042",
+		Ops: 7, Img: img,
+	}
+}
+
+// TestCodecEncodeAllocs pins the allocation budget of the encode hot path.
+// With the pooled scratch buffer, Encode allocates the returned slice plus
+// the Props/Keys rendering — not a chain of buffer growths proportional to
+// message size. The bounds are ceilings with a little headroom; a failure
+// here means someone dropped the pool or added a per-entry allocation.
+func TestCodecEncodeAllocs(t *testing.T) {
+	m := allocTestMessage(40)
+	// Warm the pool so the measurement sees steady state.
+	for i := 0; i < 4; i++ {
+		Encode(m)
+	}
+	got := testing.AllocsPerRun(100, func() { Encode(m) })
+	// Result copy (1) + two Props.String() renderings + one Keys() slice,
+	// each a handful of allocations.
+	const maxEncode = 12
+	if got > maxEncode {
+		t.Errorf("Encode allocs/op = %.1f, want <= %d", got, maxEncode)
+	}
+
+	got = testing.AllocsPerRun(100, func() {
+		if err := WriteFrame(io.Discard, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// WriteFrame reuses the pooled buffer outright: no result copy.
+	const maxFrameAllocs = 11
+	if got > maxFrameAllocs {
+		t.Errorf("WriteFrame allocs/op = %.1f, want <= %d", got, maxFrameAllocs)
+	}
+}

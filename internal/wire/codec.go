@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"flecc/internal/image"
 	"flecc/internal/property"
@@ -26,6 +27,29 @@ const (
 )
 
 type encoder struct{ buf []byte }
+
+// encoders pools encode scratch buffers: the hot path (every Call on every
+// transport) serializes into a recycled buffer and copies out the exact
+// result, instead of growing a fresh slice per message.
+var encoders = sync.Pool{
+	New: func() any { return &encoder{buf: make([]byte, 0, 512)} },
+}
+
+// maxPooledBuf caps the scratch we keep: an occasional huge image must not
+// pin its buffer in the pool forever.
+const maxPooledBuf = 1 << 20
+
+func getEncoder() *encoder {
+	e := encoders.Get().(*encoder)
+	e.buf = e.buf[:0]
+	return e
+}
+
+func putEncoder(e *encoder) {
+	if cap(e.buf) <= maxPooledBuf {
+		encoders.Put(e)
+	}
+}
 
 func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
 func (e *encoder) bool(v bool) {
@@ -117,8 +141,18 @@ func (d *decoder) bytes() []byte {
 }
 
 // Encode serializes a message to a fresh byte slice (without framing).
+// The result is the caller's to keep — encoding scratch is pooled
+// internally.
 func Encode(m *Message) []byte {
-	e := &encoder{buf: make([]byte, 0, 64)}
+	e := getEncoder()
+	e.message(m)
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	putEncoder(e)
+	return out
+}
+
+func (e *encoder) message(m *Message) {
 	e.u8(codecVersion)
 	e.u8(uint8(m.Type))
 	e.u64(m.Seq)
@@ -148,7 +182,6 @@ func Encode(m *Message) []byte {
 	}
 	e.bytes(m.Blob)
 	e.str(m.Err)
-	return e.buf
 }
 
 func encodeImage(e *encoder, im *image.Image) {
@@ -254,18 +287,20 @@ func decodeImage(d *decoder) (*image.Image, error) {
 	return im, nil
 }
 
-// WriteFrame writes one length-prefixed message to w.
+// WriteFrame writes one length-prefixed message to w. It encodes into a
+// pooled buffer with the length prefix in place, so a frame costs one
+// Write and no per-message allocation.
 func WriteFrame(w io.Writer, m *Message) error {
-	payload := Encode(m)
-	if len(payload) > maxFrame {
-		return fmt.Errorf("wire: message too large (%d bytes)", len(payload))
+	e := getEncoder()
+	defer putEncoder(e)
+	e.u32(0) // length prefix, patched below
+	e.message(m)
+	payload := len(e.buf) - 4
+	if payload > maxFrame {
+		return fmt.Errorf("wire: message too large (%d bytes)", payload)
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	binary.LittleEndian.PutUint32(e.buf[:4], uint32(payload))
+	_, err := w.Write(e.buf)
 	return err
 }
 
