@@ -22,6 +22,7 @@ import (
 	"flecc/internal/metrics"
 	"flecc/internal/property"
 	"flecc/internal/shard"
+	"flecc/internal/trace"
 	"flecc/internal/transport"
 	"flecc/internal/trigger"
 	"flecc/internal/vclock"
@@ -481,6 +482,51 @@ func BenchmarkPullContention(b *testing.B) {
 			dm, err := directory.New("dm", flecc.NewMapCodec(), vclock.NewSim(), f, directory.Options{
 				AlwaysGather: true,
 				FanOut:       fanout,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer dm.Close()
+			for i := 0; i < members; i++ {
+				benchFakeView(b, f, fmt.Sprintf("v%d", i), props)
+			}
+			puller := benchFakeView(b, f, "puller", props)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reply, err := puller.Call("dm", &wire.Message{Type: wire.TPull})
+				if err != nil || reply.Type != wire.TImage {
+					b.Fatalf("pull: %v %v", err, reply)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPullContentionObserved reruns the fanout=8 contention pull
+// with the full observability stack attached — wire counters, the raw
+// message trace ring, and span reconstruction all fanned out by
+// transport.Observers — against a detached control. The acceptance bar
+// for the observer path is that "observed" stays within 5% of
+// "detached"; compare with:
+//
+//	go test -bench=PullContentionObserved -benchtime=2s
+func BenchmarkPullContentionObserved(b *testing.B) {
+	const members = 8
+	for _, observed := range []bool{false, true} {
+		label := "detached"
+		if observed {
+			label = "observed"
+		}
+		b.Run(label, func(b *testing.B) {
+			f, props := benchContentionNet(b, members)
+			if observed {
+				f.AddObserver(metrics.NewMessageStats(false))
+				f.AddObserver(trace.NewRecorder(2048))
+				f.AddObserver(trace.NewSpanRecorder("dm", 256))
+			}
+			dm, err := directory.New("dm", flecc.NewMapCodec(), vclock.NewSim(), f, directory.Options{
+				AlwaysGather: true,
+				FanOut:       8,
 			})
 			if err != nil {
 				b.Fatal(err)

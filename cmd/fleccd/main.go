@@ -36,24 +36,25 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
-		name       = flag.String("name", "db", "directory manager node name")
-		flights    = flag.Int("flights", 100, "number of synthetic flights to seed (starting at 100)")
-		capacity   = flag.Int("capacity", 200, "seats per flight")
-		shards     = flag.Int("shards", 1, "number of directory shards (1 = plain single directory manager)")
-		interval   = flag.Duration("status", 10*time.Second, "status log interval (0 disables)")
-		key        = flag.String("key", "", "shared secret; when set, the link is protected by an encryptor/decryptor pair")
-		ckptPath   = flag.String("checkpoint", "", "file to write protocol-metadata snapshots to (enables fail-over; per-shard files get a .sN suffix)")
-		ckptEvery  = flag.Duration("checkpoint-every", 30*time.Second, "snapshot interval when -checkpoint is set")
+		addr         = flag.String("addr", "127.0.0.1:7070", "listen address")
+		name         = flag.String("name", "db", "directory manager node name")
+		flights      = flag.Int("flights", 100, "number of synthetic flights to seed (starting at 100)")
+		capacity     = flag.Int("capacity", 200, "seats per flight")
+		shards       = flag.Int("shards", 1, "number of directory shards (1 = plain single directory manager)")
+		interval     = flag.Duration("status", 10*time.Second, "status log interval (0 disables)")
+		key          = flag.String("key", "", "shared secret; when set, the link is protected by an encryptor/decryptor pair")
+		ckptPath     = flag.String("checkpoint", "", "file to write protocol-metadata snapshots to (enables fail-over; per-shard files get a .sN suffix)")
+		ckptEvery    = flag.Duration("checkpoint-every", 30*time.Second, "snapshot interval when -checkpoint is set")
 		faultDrop    = flag.Float64("fault-drop", 0, "inject faults: probability [0,1] of dropping any message before delivery")
 		faultDelay   = flag.Duration("fault-delay", 0, "inject faults: fixed delay added before delivering each message")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for the fault injector's random stream (deterministic runs)")
 		fanOut       = flag.Int("fanout", 0, "max concurrent views contacted per invalidate/gather/propagate round (0 = directory default, 1 = serial)")
 		compactEvery = flag.Duration("compact-every", 0, "update-log compaction interval (0 disables)")
+		debugAddr    = flag.String("debug-addr", "", "serve observability HTTP on this address: /metrics (text or ?format=json), /trace, /spans, /debug/pprof (empty disables)")
 	)
 	flag.Parse()
 	if err := run(*addr, *name, *flights, *capacity, *shards, *interval, *key, *ckptPath, *ckptEvery,
-		faultOpts{drop: *faultDrop, delay: *faultDelay, seed: *faultSeed}, *fanOut, *compactEvery); err != nil {
+		faultOpts{drop: *faultDrop, delay: *faultDelay, seed: *faultSeed}, *fanOut, *compactEvery, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "fleccd:", err)
 		os.Exit(1)
 	}
@@ -68,7 +69,7 @@ type faultOpts struct {
 
 func (f faultOpts) enabled() bool { return f.drop > 0 || f.delay > 0 }
 
-func run(addr, name string, flights, capacity, shards int, statusEvery time.Duration, key, ckptPath string, ckptEvery time.Duration, faults faultOpts, fanOut int, compactEvery time.Duration) error {
+func run(addr, name string, flights, capacity, shards int, statusEvery time.Duration, key, ckptPath string, ckptEvery time.Duration, faults faultOpts, fanOut int, compactEvery time.Duration, debugAddr string) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1")
 	}
@@ -93,7 +94,11 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 		tnet = faulty
 		log.Printf("fleccd: fault injection on (drop=%.2f delay=%s seed=%d)", faults.drop, faults.delay, faults.seed)
 	}
-	opts := directory.Options{Resolver: airline.SeatResolver, FanOut: fanOut}
+	// One seeded jitter stream serves every retry policy in the process
+	// (the DM's view calls and, in sharded mode, the router's shard
+	// calls), so identically seeded runs replay the same backoffs.
+	retry := transport.RetryPolicy{Jitter: 0.2, Rand: transport.NewRand(faults.seed)}
+	opts := directory.Options{Resolver: airline.SeatResolver, FanOut: fanOut, Retry: retry}
 
 	d, err := newDeployment(name, db, tnet, shards, opts, ckptPath)
 	if err != nil {
@@ -101,7 +106,20 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 	}
 	d.faulty = faulty
 	defer d.close()
+	if d.svc != nil {
+		d.svc.Router().SetRetryPolicy(retry)
+	}
 	log.Printf("fleccd: directory %q (%d shard(s)) serving %d flights on %s", name, shards, flights, ln.Addr())
+
+	if debugAddr != "" {
+		obs := newObservability(name, tnet, d)
+		dln, err := obs.serveDebug(debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dln.Close()
+		log.Printf("fleccd: observability on http://%s (/metrics /trace /spans /debug/pprof)", dln.Addr())
+	}
 
 	checkpoint := func() {
 		if ckptPath == "" {

@@ -48,7 +48,6 @@ import (
 	"flecc/internal/property"
 	"flecc/internal/registry"
 	"flecc/internal/trace"
-	"flecc/internal/transport"
 	"flecc/internal/trigger"
 	"flecc/internal/vclock"
 	"flecc/internal/wire"
@@ -194,23 +193,17 @@ func New(name string, primary Codec, opts ...Option) (*System, error) {
 	topo := netsim.LAN(cfg.latency)
 	topo.Place(name, "hub")
 	net := netsim.New(cfg.clock, topo)
+	// The transports carry an observer fan-out, so stats and tracing
+	// register independently instead of sharing one combined hook.
 	var stats *metrics.MessageStats
 	var rec *trace.Recorder
-	switch {
-	case cfg.stats && cfg.trace:
+	if cfg.stats {
 		stats = metrics.NewMessageStats(false)
+		net.AddObserver(stats)
+	}
+	if cfg.trace {
 		rec = trace.NewRecorder(cfg.traceCap)
-		s, r := stats, rec
-		net.SetObserver(transport.ObserverFunc(func(from, to string, m *wire.Message) {
-			s.OnMessage(from, to, m)
-			r.OnMessage(from, to, m)
-		}))
-	case cfg.stats:
-		stats = metrics.NewMessageStats(false)
-		net.SetObserver(stats)
-	case cfg.trace:
-		rec = trace.NewRecorder(cfg.traceCap)
-		net.SetObserver(rec)
+		net.AddObserver(rec)
 	}
 	fanOut := cfg.fanOut
 	if fanOut == 0 {

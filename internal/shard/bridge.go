@@ -19,14 +19,14 @@ import (
 // From intact — which is exactly what the router needs to identify the
 // originating view.
 //
-// The Bridge carries its own Observer hook so a deployment can count
+// The Bridge carries its own observer fan-out so a deployment can count
 // router→shard traffic per shard (metrics.MessageStats.PerShard) even
 // though that traffic never touches the wire.
 type Bridge struct {
 	mu      sync.RWMutex
 	nodes   map[string]*bridgeNode
 	seq     atomic.Uint64
-	obs     transport.Observer
+	obs     transport.Observers
 	uplink  transport.Endpoint
 	gateway string
 }
@@ -43,9 +43,15 @@ func NewBridge() *Bridge {
 	return &Bridge{nodes: map[string]*bridgeNode{}}
 }
 
-// SetObserver installs the message observer for in-process traffic (nil
-// disables). Not safe to call concurrently with traffic.
-func (b *Bridge) SetObserver(o transport.Observer) { b.obs = o }
+// SetObserver replaces the observer fan-out for in-process traffic with
+// the single observer o (nil disables). Safe to call concurrently with
+// traffic.
+func (b *Bridge) SetObserver(o transport.Observer) { b.obs.Set(o) }
+
+// AddObserver appends an observer to the fan-out, so per-shard stats,
+// tracing, and user hooks coexist. Safe to call concurrently with
+// traffic.
+func (b *Bridge) AddObserver(o transport.Observer) { b.obs.Add(o) }
 
 // Attach implements transport.Network for local nodes.
 func (b *Bridge) Attach(name string, h transport.Handler) (transport.Endpoint, error) {
@@ -105,18 +111,14 @@ func (b *Bridge) inbound(req *wire.Message) *wire.Message {
 	if node == nil || node.closed.Load() {
 		return &wire.Message{Type: wire.TErr, Err: fmt.Sprintf("bridge: gateway %q not attached", b.gateway)}
 	}
-	if o := b.obs; o != nil {
-		o.OnMessage(req.From, node.name, req)
-	}
+	b.obs.OnMessage(req.From, node.name, req)
 	reply := node.handler(req)
 	if reply == nil {
 		reply = &wire.Message{Type: wire.TAck}
 	}
 	reply.Seq = req.Seq
 	reply.From = node.name
-	if o := b.obs; o != nil {
-		o.OnMessage(node.name, req.From, reply)
-	}
+	b.obs.OnMessage(node.name, req.From, reply)
 	return reply
 }
 
@@ -150,9 +152,7 @@ func (n *bridgeNode) Call(to string, req *wire.Message) (*wire.Message, error) {
 		req = &r
 		req.Seq = b.seq.Add(1)
 		req.From = n.name
-		if o := b.obs; o != nil {
-			o.OnMessage(n.name, to, req)
-		}
+		b.obs.OnMessage(n.name, to, req)
 		if callee.closed.Load() {
 			return nil, fmt.Errorf("%w: %s", transport.ErrClosed, to)
 		}
@@ -162,9 +162,7 @@ func (n *bridgeNode) Call(to string, req *wire.Message) (*wire.Message, error) {
 		}
 		reply.Seq = req.Seq
 		reply.From = to
-		if o := b.obs; o != nil {
-			o.OnMessage(to, n.name, reply)
-		}
+		b.obs.OnMessage(to, n.name, reply)
 		if err := wire.ErrorOf(reply); err != nil {
 			return reply, err
 		}
@@ -180,4 +178,5 @@ func (n *bridgeNode) Call(to string, req *wire.Message) (*wire.Message, error) {
 }
 
 var _ transport.Network = (*Bridge)(nil)
+var _ transport.ObservableNetwork = (*Bridge)(nil)
 var _ transport.Endpoint = (*bridgeNode)(nil)

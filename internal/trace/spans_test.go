@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flecc/internal/wire"
+)
+
+// tick returns a deterministic clock advancing 1ms per call.
+func tick() func() time.Time {
+	base := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+// feed replays a pull that fans out an invalidate and a gather before
+// replying — Figure 2's strong-mode shape, from the DM's perspective.
+func feed(r *SpanRecorder) {
+	r.OnMessage("v2", "dm", &wire.Message{Type: wire.TPull, Seq: 7})       // root opens
+	r.OnMessage("dm", "v1", &wire.Message{Type: wire.TInvalidate, Seq: 8}) // child 1
+	r.OnMessage("v1", "dm", &wire.Message{Type: wire.TImage, Seq: 8})      // child 1 reply
+	r.OnMessage("dm", "v3", &wire.Message{Type: wire.TUpdate, Seq: 9})     // child 2
+	r.OnMessage("v3", "dm", &wire.Message{Type: wire.TImage, Seq: 9})      // child 2 reply
+	r.OnMessage("dm", "v2", &wire.Message{Type: wire.TImage, Seq: 7})      // root closes
+}
+
+func TestSpanRecorderReconstructsFanOut(t *testing.T) {
+	r := NewSpanRecorder("dm", 16)
+	r.SetNow(tick())
+	feed(r)
+
+	if r.Total() != 1 || r.Open() != 0 {
+		t.Fatalf("total=%d open=%d, want 1 completed, 0 open", r.Total(), r.Open())
+	}
+	spans := r.Spans()
+	s := spans[0]
+	if s.From != "v2" || s.Seq != 7 || s.Type != wire.TPull {
+		t.Fatalf("span = %+v", s)
+	}
+	if s.Duration() != 5*time.Millisecond {
+		t.Fatalf("duration = %v (events ticked 1ms apart)", s.Duration())
+	}
+	if len(s.Children) != 2 {
+		t.Fatalf("children = %+v", s.Children)
+	}
+	c1, c2 := s.Children[0], s.Children[1]
+	if c1.To != "v1" || c1.Type != wire.TInvalidate || c1.End.Sub(c1.Start) != time.Millisecond {
+		t.Fatalf("child 1 = %+v", c1)
+	}
+	if c2.To != "v3" || c2.Type != wire.TUpdate || c2.End.Sub(c2.Start) != time.Millisecond {
+		t.Fatalf("child 2 = %+v", c2)
+	}
+
+	out := r.String()
+	for _, want := range []string{"pull v2→dm seq=7 5ms", "├─ invalidate →v1 seq=8 1ms", "└─ update →v3 seq=9 1ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpanRecorderChildWithoutReply: a fan-out leg whose reply never
+// comes back (dropped by a fault) renders as such instead of blocking
+// the span.
+func TestSpanRecorderChildWithoutReply(t *testing.T) {
+	r := NewSpanRecorder("dm", 16)
+	r.SetNow(tick())
+	r.OnMessage("v2", "dm", &wire.Message{Type: wire.TPull, Seq: 1})
+	r.OnMessage("dm", "v1", &wire.Message{Type: wire.TInvalidate, Seq: 2})
+	// v1's reply is dropped; the DM replies to v2 anyway (evicting v1).
+	r.OnMessage("dm", "v2", &wire.Message{Type: wire.TImage, Seq: 1})
+
+	spans := r.Spans()
+	if len(spans) != 1 || len(spans[0].Children) != 1 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if !spans[0].Children[0].End.IsZero() {
+		t.Fatalf("child should have no End: %+v", spans[0].Children[0])
+	}
+	if !strings.Contains(r.String(), "(no reply)") {
+		t.Fatalf("rendering should flag the missing reply:\n%s", r.String())
+	}
+}
+
+// TestSpanRecorderRing: completed spans rotate through a bounded ring
+// with original numbering, like the raw-event Recorder.
+func TestSpanRecorderRing(t *testing.T) {
+	r := NewSpanRecorder("dm", 3)
+	for i := 1; i <= 9; i++ {
+		r.OnMessage("cm", "dm", &wire.Message{Type: wire.TPull, Seq: uint64(i)})
+		r.OnMessage("dm", "cm", &wire.Message{Type: wire.TAck, Seq: uint64(i)})
+	}
+	if r.Total() != 9 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	spans := r.Spans()
+	if len(spans) != 3 || spans[0].N != 7 || spans[2].N != 9 {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+// TestSpanRecorderDedupesDoubleObservation: the same frame observed at
+// two layers (TCP wire + in-process bridge) opens only one span and the
+// extra reply observation is a no-op.
+func TestSpanRecorderDedupesDoubleObservation(t *testing.T) {
+	r := NewSpanRecorder("dm", 16)
+	req := &wire.Message{Type: wire.TPull, Seq: 4}
+	reply := &wire.Message{Type: wire.TAck, Seq: 4}
+	r.OnMessage("v1", "dm", req)
+	r.OnMessage("v1", "dm", req) // second layer sees the same frame
+	r.OnMessage("dm", "v1", reply)
+	r.OnMessage("dm", "v1", reply)
+	if r.Total() != 1 || r.Open() != 0 {
+		t.Fatalf("total=%d open=%d, want exactly one span and no leak", r.Total(), r.Open())
+	}
+}
+
+// TestSpanRecorderOpenBound: spans whose replies are never observed are
+// eventually discarded instead of leaking.
+func TestSpanRecorderOpenBound(t *testing.T) {
+	r := NewSpanRecorder("dm", 4)
+	for i := 0; i < maxOpenSpans*2; i++ {
+		r.OnMessage("cm", "dm", &wire.Message{Type: wire.TPull, Seq: uint64(i)})
+	}
+	if r.Open() != maxOpenSpans {
+		t.Fatalf("open = %d, want bounded at %d", r.Open(), maxOpenSpans)
+	}
+}
+
+// TestSpanRecorderError: a TErr reply closes the span with its error.
+func TestSpanRecorderError(t *testing.T) {
+	r := NewSpanRecorder("dm", 4)
+	r.OnMessage("v1", "dm", &wire.Message{Type: wire.TPush, Seq: 2})
+	r.OnMessage("dm", "v1", &wire.Message{Type: wire.TErr, Seq: 2, Err: "mode conflict"})
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Err != "mode conflict" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if !strings.Contains(r.String(), "err=mode conflict") {
+		t.Fatalf("rendering missing error:\n%s", r.String())
+	}
+}
+
+// TestSpanRecorderIgnoresHandshake: hello/hello-ack are transport-level
+// frames whose ack is not a wire reply type; they must not open spans.
+func TestSpanRecorderIgnoresHandshake(t *testing.T) {
+	r := NewSpanRecorder("dm", 4)
+	r.OnMessage("v1", "dm", &wire.Message{Type: wire.THello, Seq: 0})
+	r.OnMessage("dm", "v1", &wire.Message{Type: wire.THelloAck, Seq: 0})
+	if r.Total() != 0 || r.Open() != 0 {
+		t.Fatalf("total=%d open=%d, want handshake ignored", r.Total(), r.Open())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"flecc/internal/wire"
 )
@@ -40,7 +41,7 @@ type Recorder struct {
 	next   int // ring write position when full
 	total  int
 	cap    int
-	filter func(m *wire.Message) bool
+	filter atomic.Pointer[func(m *wire.Message) bool]
 }
 
 // NewRecorder returns a recorder keeping the most recent capacity events
@@ -52,13 +53,24 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{cap: capacity}
 }
 
-// SetFilter installs a predicate; messages it rejects are not recorded.
-// Not safe to call concurrently with traffic.
-func (r *Recorder) SetFilter(f func(m *wire.Message) bool) { r.filter = f }
+// SetFilter installs a predicate; messages it rejects are not recorded
+// (nil clears the filter). The swap is atomic, so SetFilter is safe to
+// call concurrently with traffic: deliveries in flight finish against
+// whichever filter they loaded, and later deliveries see the new one.
+// Already-recorded events are never re-filtered, so SetFilter composes
+// with ring rotation and Reset — change the filter mid-recording and
+// the retained events simply switch admission policy from that point.
+func (r *Recorder) SetFilter(f func(m *wire.Message) bool) {
+	if f == nil {
+		r.filter.Store(nil)
+		return
+	}
+	r.filter.Store(&f)
+}
 
 // OnMessage implements transport.Observer.
 func (r *Recorder) OnMessage(from, to string, m *wire.Message) {
-	if r.filter != nil && !r.filter(m) {
+	if f := r.filter.Load(); f != nil && !(*f)(m) {
 		return
 	}
 	var note string
@@ -114,30 +126,28 @@ func (r *Recorder) Reset() {
 	r.mu.Unlock()
 }
 
-// String renders the retained events as a sequence diagram.
+// String renders the retained events as a sequence diagram. Column
+// widths adapt to the retained events: the name column covers both
+// From and To names (an event's To is the next line's From as replies
+// turn around, so both must fit), and the arrow column covers the
+// longest message type, so long types like migrate-apply keep every
+// arrowhead and the seq= column aligned.
 func (r *Recorder) String() string {
 	events := r.Events()
 	var b strings.Builder
-	width := 0
+	nameW, typeW := 0, 0
 	for _, e := range events {
-		if len(e.From) > width {
-			width = len(e.From)
-		}
+		nameW = max(nameW, len(e.From), len(e.To))
+		typeW = max(typeW, len(e.Type.String()))
 	}
 	for _, e := range events {
-		arrow := "──" + e.Type.String() + strings.Repeat("─", max(1, 14-len(e.Type.String()))) + ">"
-		fmt.Fprintf(&b, "%5d.  %-*s %s %s    seq=%d", e.N, width, e.From, arrow, e.To, e.Seq)
+		t := e.Type.String()
+		arrow := "──" + t + strings.Repeat("─", typeW-len(t)+2) + ">"
+		fmt.Fprintf(&b, "%5d.  %-*s %s %-*s  seq=%d", e.N, nameW, e.From, arrow, nameW, e.To, e.Seq)
 		if e.Note != "" {
 			b.WriteString("  " + e.Note)
 		}
 		b.WriteByte('\n')
 	}
 	return b.String()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

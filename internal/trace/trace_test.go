@@ -91,3 +91,151 @@ func TestRecorderWithProtocolRun(t *testing.T) {
 		t.Fatalf("ordering wrong:\n%s", out)
 	}
 }
+
+// TestRecorderStringAlignment: the rendered diagram keeps the To column
+// and seq= column aligned even when message types of very different
+// lengths (ack vs migrate-apply) and node names of different lengths
+// mix — the layout bug where long types collapsed the arrow padding.
+func TestRecorderStringAlignment(t *testing.T) {
+	r := NewRecorder(10)
+	r.OnMessage("v2", "dm", &wire.Message{Type: wire.TPull, Seq: 1})
+	r.OnMessage("dm", "a-long-view-name", &wire.Message{Type: wire.TMigrateApply, Seq: 2})
+	r.OnMessage("a-long-view-name", "dm", &wire.Message{Type: wire.TAck, Seq: 2})
+	out := r.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %q", lines)
+	}
+	// Column positions in runes: the arrow shaft is drawn with multi-byte
+	// box-drawing characters, so byte offsets don't measure alignment.
+	runeIndex := func(s, sub string) int {
+		b := strings.Index(s, sub)
+		if b < 0 {
+			return -1
+		}
+		return len([]rune(s[:b]))
+	}
+	var arrowCol, seqCol int
+	for i, l := range lines {
+		a := runeIndex(l, ">")
+		s := runeIndex(l, "seq=")
+		if a < 0 || s < 0 {
+			t.Fatalf("line %d malformed: %q", i, l)
+		}
+		if i == 0 {
+			arrowCol, seqCol = a, s
+			continue
+		}
+		if a != arrowCol {
+			t.Fatalf("arrowheads misaligned (%d vs %d):\n%s", a, arrowCol, out)
+		}
+		if s != seqCol {
+			t.Fatalf("seq columns misaligned (%d vs %d):\n%s", s, seqCol, out)
+		}
+	}
+	// Every arrow must retain at least the two leading and two trailing
+	// dashes around its label.
+	for i, l := range lines {
+		if !strings.Contains(l, "──") {
+			t.Fatalf("line %d lost its arrow shaft: %q", i, l)
+		}
+	}
+}
+
+// TestRecorderRotatedRendering: String over a rotated ring (total >
+// capacity) renders exactly the retained window with original event
+// numbers.
+func TestRecorderRotatedRendering(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 11; i++ {
+		r.OnMessage("cm", "dm", &wire.Message{Type: wire.TPull, Seq: uint64(i)})
+	}
+	out := r.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	for i, wantN := range []string{"8.", "9.", "10.", "11."} {
+		if !strings.Contains(lines[i], wantN) {
+			t.Fatalf("line %d = %q, want event %s", i, lines[i], wantN)
+		}
+	}
+	if strings.Contains(out, "seq=7") {
+		t.Fatalf("rotated-out event still rendered:\n%s", out)
+	}
+}
+
+// TestRecorderFilterRotationResetCompose: SetFilter, ring rotation, and
+// Reset compose — a filter installed mid-stream only governs later
+// admissions, survives rotation, and stays in force across Reset.
+func TestRecorderFilterRotationResetCompose(t *testing.T) {
+	r := NewRecorder(3)
+	r.OnMessage("a", "b", &wire.Message{Type: wire.TPull, Seq: 1})
+	r.OnMessage("a", "b", &wire.Message{Type: wire.TPush, Seq: 2})
+
+	r.SetFilter(func(m *wire.Message) bool { return m.Type == wire.TPull })
+	for i := 3; i <= 8; i++ {
+		typ := wire.TPush
+		if i%2 == 1 {
+			typ = wire.TPull
+		}
+		r.OnMessage("a", "b", &wire.Message{Type: typ, Seq: uint64(i)})
+	}
+	// Admitted: pre-filter 1,2 then pulls 3,5,7 → total 5, ring keeps 3.
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+	events := r.Events()
+	if len(events) != 3 || events[0].Seq != 3 || events[1].Seq != 5 || events[2].Seq != 7 {
+		t.Fatalf("events = %+v", events)
+	}
+
+	r.Reset()
+	if r.Total() != 0 || len(r.Events()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	// The filter survives Reset.
+	r.OnMessage("a", "b", &wire.Message{Type: wire.TPush, Seq: 9})
+	r.OnMessage("a", "b", &wire.Message{Type: wire.TPull, Seq: 10})
+	if r.Total() != 1 || r.Events()[0].Seq != 10 {
+		t.Fatalf("post-reset events = %+v", r.Events())
+	}
+
+	// Clearing restores admit-all.
+	r.SetFilter(nil)
+	r.OnMessage("a", "b", &wire.Message{Type: wire.TPush, Seq: 11})
+	if r.Total() != 2 {
+		t.Fatalf("total after clearing filter = %d", r.Total())
+	}
+}
+
+// TestRecorderSetFilterConcurrent: swapping the filter while traffic
+// flows is safe (run under -race in CI).
+func TestRecorderSetFilterConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				r.SetFilter(func(m *wire.Message) bool { return m.Type == wire.TPull })
+			} else {
+				r.SetFilter(nil)
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		r.OnMessage("a", "b", &wire.Message{Type: wire.TPull, Seq: uint64(i)})
+	}
+	close(stop)
+	<-done
+	if r.Total() == 0 {
+		t.Fatal("nothing recorded")
+	}
+}

@@ -29,6 +29,9 @@ var ErrInjected = errors.New("transport: injected fault")
 // consume the seeded stream in a fixed order.
 type Faulty struct {
 	inner Network
+	// obs is the local observer fan-out, used only when the wrapped
+	// network is not itself observable; see AddObserver.
+	obs Observers
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -63,6 +66,32 @@ func (f *Faulty) Attach(name string, h Handler) (Endpoint, error) {
 		return nil, err
 	}
 	return &faultyEndpoint{net: f, inner: ep}, nil
+}
+
+// AddObserver appends a message observer. When the wrapped network is
+// itself observable (Inproc, the TCP networks, the shard bridge), the
+// observer is registered there, so it sees messages with their final
+// Seq/From stamps and injected failures cost nothing extra. Otherwise
+// the Faulty endpoints observe locally: requests just before they enter
+// the inner network (Seq not yet stamped) and replies as they return.
+// Either way, dropped calls are never observed — a dropped request never
+// reached the callee.
+func (f *Faulty) AddObserver(o Observer) {
+	if on, ok := f.inner.(ObservableNetwork); ok {
+		on.AddObserver(o)
+		return
+	}
+	f.obs.Add(o)
+}
+
+// SetObserver replaces the observer fan-out (nil clears), delegating to
+// the wrapped network when it is observable; see AddObserver.
+func (f *Faulty) SetObserver(o Observer) {
+	if on, ok := f.inner.(ObservableNetwork); ok {
+		on.SetObserver(o)
+		return
+	}
+	f.obs.Set(o)
 }
 
 // SetDropRate makes each call fail with probability p (clamped to [0,1])
@@ -220,7 +249,22 @@ func (e *faultyEndpoint) Call(to string, req *wire.Message) (*wire.Message, erro
 			time.Sleep(delay)
 		}
 	}
-	return e.inner.Call(to, req)
+	if e.net.obs.Len() == 0 {
+		return e.inner.Call(to, req)
+	}
+	e.net.obs.OnMessage(e.inner.Name(), to, req)
+	reply, err := e.inner.Call(to, req)
+	if reply != nil {
+		e.net.obs.OnMessage(to, e.inner.Name(), reply)
+	}
+	return reply, err
 }
 
-var _ Network = (*Faulty)(nil)
+var (
+	_ Network           = (*Faulty)(nil)
+	_ ObservableNetwork = (*Faulty)(nil)
+	_ ObservableNetwork = (*Inproc)(nil)
+	_ ObservableNetwork = (*ServerNetwork)(nil)
+	_ ObservableNetwork = (*DialNetwork)(nil)
+	_ Observer          = (*Observers)(nil)
+)

@@ -3,10 +3,41 @@ package transport
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"time"
 
 	"flecc/internal/wire"
 )
+
+// Rand is a seeded, concurrency-safe source of jitter randomness. One
+// Rand threads through every RetryPolicy of a deployment (the directory
+// manager's Options.Retry, the shard router's SetRetryPolicy), so fault
+// soaks with jittered retries consume a single reproducible stream
+// instead of the process-global math/rand — which is what used to make
+// identically seeded runs diverge.
+type Rand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// NewRand returns a jitter source with a fixed seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 draws the next value in [0, 1).
+func (r *Rand) Float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.r.Float64()
+}
+
+// defaultJitter backs policies that enable Jitter without threading
+// their own Rand. It is seeded (not the global math/rand), so a
+// single-threaded run is reproducible out of the box; concurrent
+// retriers share the stream, so runs needing exact cross-run
+// reproducibility should set RetryPolicy.Rand explicitly.
+var defaultJitter = NewRand(1)
 
 // IsTransportError reports whether err is a transport-level failure — the
 // destination was unreachable, closed, timed out, or a fault was injected —
@@ -43,6 +74,10 @@ type RetryPolicy struct {
 	// Jitter spreads each backoff uniformly over ±Jitter fraction of its
 	// value (0.2 = ±20%), so synchronized retriers decorrelate.
 	Jitter float64
+	// Rand supplies the jitter randomness. Nil falls back to a seeded
+	// process-wide source; deployments that need reproducible fault runs
+	// thread one NewRand(seed) through every policy they build.
+	Rand *Rand
 	// Sleep replaces time.Sleep between attempts; tests use it to avoid
 	// real waiting. Nil means time.Sleep.
 	Sleep func(time.Duration)
@@ -71,7 +106,11 @@ func (p RetryPolicy) backoff(attempt int) time.Duration {
 		d = p.Max
 	}
 	if p.Jitter > 0 {
-		f := 1 + p.Jitter*(2*rand.Float64()-1)
+		src := p.Rand
+		if src == nil {
+			src = defaultJitter
+		}
+		f := 1 + p.Jitter*(2*src.Float64()-1)
 		d = time.Duration(float64(d) * f)
 	}
 	return d

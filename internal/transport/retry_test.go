@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"flecc/internal/wire"
+)
+
+// TestBackoffScheduleSeeded pins the jittered backoff schedule for a
+// fixed seed. math/rand's (v1) generator stream is frozen by the Go
+// compatibility promise, so these literals are stable; the test
+// regresses the bug where jitter drew from the process-global
+// math/rand and identically configured runs produced different
+// schedules.
+func TestBackoffScheduleSeeded(t *testing.T) {
+	pol := RetryPolicy{
+		Attempts: 5,
+		Base:     2 * time.Millisecond,
+		Max:      16 * time.Millisecond,
+		Jitter:   0.25,
+		Rand:     NewRand(42),
+	}
+	want := []time.Duration{1873028, 3132000, 8416375, 13670549}
+	for i, w := range want {
+		if got := pol.backoff(i + 1); got != w {
+			t.Fatalf("backoff(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffSeededStreamsIdentical: two policies built with the same
+// seed replay the same schedule; a different seed diverges.
+func TestBackoffSeededStreamsIdentical(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		pol := RetryPolicy{
+			Attempts: 6,
+			Base:     time.Millisecond,
+			Max:      32 * time.Millisecond,
+			Jitter:   0.2,
+			Rand:     NewRand(seed),
+		}
+		out := make([]time.Duration, 0, 5)
+		for a := 1; a <= 5; a++ {
+			out = append(out, pol.backoff(a))
+		}
+		return out
+	}
+	a, b, c := mk(7), mk(7), mk(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+	var differs bool
+	for i := range a {
+		if a[i] != c[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestBackoffJitterBounds: every jittered backoff stays within ±Jitter
+// of the unjittered value and respects Max as the pre-jitter cap.
+func TestBackoffJitterBounds(t *testing.T) {
+	pol := RetryPolicy{
+		Attempts: 4,
+		Base:     4 * time.Millisecond,
+		Max:      20 * time.Millisecond,
+		Jitter:   0.3,
+		Rand:     NewRand(1),
+	}
+	bases := []time.Duration{4 * time.Millisecond, 8 * time.Millisecond, 16 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond}
+	for round := 0; round < 50; round++ {
+		for i, base := range bases {
+			d := pol.backoff(i + 1)
+			lo := time.Duration(float64(base) * 0.7)
+			hi := time.Duration(float64(base) * 1.3)
+			if d < lo || d > hi {
+				t.Fatalf("backoff(%d) = %v outside [%v, %v]", i+1, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestCallRetrySleepsUseSeededJitter: the pauses CallRetry actually
+// takes come from the policy's Rand, observed through the Sleep hook,
+// and replay identically for identical seeds.
+func TestCallRetrySleepsUseSeededJitter(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		f := NewFaulty(NewInproc(), seed)
+		if _, err := f.Attach("dm", func(req *wire.Message) *wire.Message {
+			return &wire.Message{Type: wire.TAck}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		fcm, err := f.Attach("cm", echoHandler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.DisconnectNext("cm", "dm", 2)
+		var slept []time.Duration
+		pol := RetryPolicy{
+			Attempts: 4,
+			Base:     time.Millisecond,
+			Max:      8 * time.Millisecond,
+			Jitter:   0.2,
+			Rand:     NewRand(seed),
+			Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		}
+		if _, err := CallRetry(fcm, "dm", &wire.Message{Type: wire.TPull}, pol); err != nil {
+			t.Fatalf("CallRetry: %v", err)
+		}
+		return slept
+	}
+	a, b := run(11), run(11)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("expected 2 pauses per run, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pause %d: %v vs %v across identically seeded runs", i, a[i], b[i])
+		}
+	}
+}

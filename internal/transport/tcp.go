@@ -19,6 +19,11 @@ type peer struct {
 	name    string // local node name
 	conn    net.Conn
 	handler Handler
+	// obs observes every frame crossing this connection — incoming
+	// requests and replies as they are read, outgoing requests and
+	// replies as they are written — giving the process a complete local
+	// wire view. Nil disables observation.
+	obs *Observers
 
 	writeMu sync.Mutex // serializes frames onto conn
 
@@ -75,13 +80,20 @@ func (p *peer) readLoop() {
 			p.shutdown(rejected)
 			return
 		}
+		if p.obs != nil {
+			p.obs.OnMessage(m.From, p.name, m)
+		}
 		if m.Type == wire.THello {
 			// Connection handshake: answered here, never dispatched to the
 			// handler. The ack tells the dialer it reached a live peer (a
 			// dead process behind a live listener socket would leave the
 			// hello unanswered and trip the dialer's deadline).
+			ack := &wire.Message{Type: wire.THelloAck, Seq: m.Seq, From: p.name}
+			if p.obs != nil {
+				p.obs.OnMessage(p.name, m.From, ack)
+			}
 			p.writeMu.Lock()
-			err := wire.WriteFrame(p.conn, &wire.Message{Type: wire.THelloAck, Seq: m.Seq, From: p.name})
+			err := wire.WriteFrame(p.conn, ack)
 			p.writeMu.Unlock()
 			if err != nil {
 				p.shutdown(err)
@@ -109,6 +121,9 @@ func (p *peer) readLoop() {
 			reply := p.serve(req)
 			reply.Seq = req.Seq
 			reply.From = p.name
+			if p.obs != nil {
+				p.obs.OnMessage(p.name, req.From, reply)
+			}
 			p.writeMu.Lock()
 			err := wire.WriteFrame(p.conn, reply)
 			p.writeMu.Unlock()
@@ -135,7 +150,7 @@ func (p *peer) serve(req *wire.Message) (reply *wire.Message) {
 	return reply
 }
 
-func (p *peer) call(req *wire.Message, timeout time.Duration) (*wire.Message, error) {
+func (p *peer) call(to string, req *wire.Message, timeout time.Duration) (*wire.Message, error) {
 	seq := p.seq.Add(1)
 	// Stamp a shallow clone: the caller may retry the same message after a
 	// timeout or failure and must not observe this peer's Seq/From writes.
@@ -143,6 +158,9 @@ func (p *peer) call(req *wire.Message, timeout time.Duration) (*wire.Message, er
 	req = &r
 	req.Seq = seq
 	req.From = p.name
+	if p.obs != nil {
+		p.obs.OnMessage(p.name, to, req)
+	}
 	ch := make(chan *wire.Message, 1)
 
 	p.mu.Lock()
@@ -229,6 +247,7 @@ type Server struct {
 	ln      net.Listener
 	handler Handler
 	timeout time.Duration
+	obs     *Observers // shared with every accepted peer
 
 	mu      sync.Mutex
 	clients map[string]*peer
@@ -240,8 +259,15 @@ type Server struct {
 // Serve starts a server named name on ln. The handler serves client
 // requests. timeout bounds server-initiated calls (0 = no timeout).
 func Serve(ln net.Listener, name string, h Handler, timeout time.Duration) *Server {
+	return serveWith(ln, name, h, timeout, &Observers{})
+}
+
+// serveWith starts a server whose peers report to the given fan-out —
+// the hook ServerNetwork uses so observers registered before Attach see
+// the very first connection.
+func serveWith(ln net.Listener, name string, h Handler, timeout time.Duration, obs *Observers) *Server {
 	s := &Server{
-		name: name, ln: ln, handler: h, timeout: timeout,
+		name: name, ln: ln, handler: h, timeout: timeout, obs: obs,
 		clients: map[string]*peer{},
 		peers:   map[*peer]struct{}{},
 	}
@@ -249,6 +275,13 @@ func Serve(ln net.Listener, name string, h Handler, timeout time.Duration) *Serv
 	go s.acceptLoop()
 	return s
 }
+
+// AddObserver appends an observer that sees every frame crossing any of
+// the server's connections. Safe to call concurrently with traffic.
+func (s *Server) AddObserver(o Observer) { s.obs.Add(o) }
+
+// SetObserver replaces the server's observer fan-out (nil clears).
+func (s *Server) SetObserver(o Observer) { s.obs.Set(o) }
 
 // Name returns the server's node name.
 func (s *Server) Name() string { return s.name }
@@ -264,6 +297,7 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		p := newPeer(s.name, conn, s.handler)
+		p.obs = s.obs
 		p.onFirstMessage = func(from string, pr *peer) error {
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -313,7 +347,7 @@ func (s *Server) Call(to string, req *wire.Message) (*wire.Message, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (not connected)", ErrUnknownNode, to)
 	}
-	return p.call(req, s.timeout)
+	return p.call(to, req, s.timeout)
 }
 
 // Clients returns the names of currently connected clients.
@@ -359,6 +393,7 @@ func (s *Server) Close() error {
 type ServerNetwork struct {
 	ln      net.Listener
 	timeout time.Duration
+	obs     Observers // handed to the server on Attach
 
 	mu  sync.Mutex
 	srv *Server
@@ -369,6 +404,14 @@ func NewServerNetwork(ln net.Listener, timeout time.Duration) *ServerNetwork {
 	return &ServerNetwork{ln: ln, timeout: timeout}
 }
 
+// AddObserver appends an observer that sees every frame crossing the
+// server's wire; observers registered before Attach see the first
+// connection too.
+func (n *ServerNetwork) AddObserver(o Observer) { n.obs.Add(o) }
+
+// SetObserver replaces the observer fan-out (nil clears).
+func (n *ServerNetwork) SetObserver(o Observer) { n.obs.Set(o) }
+
 // Attach implements Network; only the first attachment succeeds.
 func (n *ServerNetwork) Attach(name string, h Handler) (Endpoint, error) {
 	n.mu.Lock()
@@ -376,7 +419,7 @@ func (n *ServerNetwork) Attach(name string, h Handler) (Endpoint, error) {
 	if n.srv != nil {
 		return nil, fmt.Errorf("transport: server network already has node %q", n.srv.Name())
 	}
-	n.srv = Serve(n.ln, name, h, n.timeout)
+	n.srv = serveWith(n.ln, name, h, n.timeout, &n.obs)
 	return serverEndpoint{n.srv}, nil
 }
 
@@ -402,6 +445,7 @@ func (e serverEndpoint) Close() error { return e.s.Close() }
 type DialNetwork struct {
 	addr    string
 	timeout time.Duration
+	obs     Observers // joined into every dialed client's fan-out
 	// DialFn, if non-nil, replaces the plain TCP dial — e.g. with a
 	// secure.Dial through an encryptor/decryptor pair.
 	DialFn func(addr string) (net.Conn, error)
@@ -412,16 +456,37 @@ func NewDialNetwork(addr string, timeout time.Duration) *DialNetwork {
 	return &DialNetwork{addr: addr, timeout: timeout}
 }
 
+// AddObserver appends an observer that sees every frame crossing any
+// connection this network dials — including connections dialed before
+// the observer was registered (the network's fan-out is a member of
+// each client's).
+func (n *DialNetwork) AddObserver(o Observer) { n.obs.Add(o) }
+
+// SetObserver replaces the network-level observer fan-out (nil clears).
+func (n *DialNetwork) SetObserver(o Observer) { n.obs.Set(o) }
+
 // Attach implements Network by dialing the server.
 func (n *DialNetwork) Attach(name string, h Handler) (Endpoint, error) {
+	var c *Client
+	var err error
 	if n.DialFn != nil {
-		conn, err := n.DialFn(n.addr)
+		var conn net.Conn
+		conn, err = n.DialFn(n.addr)
 		if err != nil {
 			return nil, fmt.Errorf("transport: dial %s: %w", n.addr, err)
 		}
-		return DialConn(conn, name, h, n.timeout)
+		c, err = DialConn(conn, name, h, n.timeout)
+	} else {
+		c, err = Dial(n.addr, name, h, n.timeout)
 	}
-	return Dial(n.addr, name, h, n.timeout)
+	if err != nil {
+		return nil, err
+	}
+	// The network-level fan-out is itself an Observer: make it a member
+	// of the client's, so observers added to the network later still see
+	// this connection's traffic.
+	c.AddObserver(&n.obs)
+	return c, nil
 }
 
 var _ Network = (*ServerNetwork)(nil)
@@ -491,6 +556,7 @@ func DialConn(conn net.Conn, name string, h Handler, timeout time.Duration) (*Cl
 		return nil, err
 	}
 	p := newPeer(name, conn, h)
+	p.obs = &Observers{}
 	p.start()
 	return &Client{p: p, timeout: timeout}, nil
 }
@@ -498,9 +564,14 @@ func DialConn(conn net.Conn, name string, h Handler, timeout time.Duration) (*Cl
 // Name implements Endpoint.
 func (c *Client) Name() string { return c.p.name }
 
-// Call implements Endpoint; the destination name is informational only.
-func (c *Client) Call(_ string, req *wire.Message) (*wire.Message, error) {
-	return c.p.call(req, c.timeout)
+// AddObserver appends an observer that sees every frame crossing this
+// client's connection.
+func (c *Client) AddObserver(o Observer) { c.p.obs.Add(o) }
+
+// Call implements Endpoint; the destination name is informational only
+// (the star topology has a single hub), and is reported to observers.
+func (c *Client) Call(to string, req *wire.Message) (*wire.Message, error) {
+	return c.p.call(to, req, c.timeout)
 }
 
 // Close implements Endpoint. It waits for the client's read loop and any

@@ -50,8 +50,13 @@ type Network interface {
 }
 
 // Observer sees every delivered message: requests as they arrive at the
-// callee, replies as they return to the caller. Implementations must be
-// safe for concurrent use when the network is used concurrently.
+// callee, replies as they return to the caller. On an in-process network
+// that is exactly once per message system-wide; on TCP each process
+// observes every frame crossing its own wire once (sent and received),
+// which is the complete local view a daemon's stats and tracer need.
+// Implementations must be safe for concurrent use when the network is
+// used concurrently. Networks carry an Observers fan-out, so several
+// observers can watch the same traffic; see Observers for ordering.
 type Observer interface {
 	// OnMessage is invoked once per message with the sending and receiving
 	// node names.
@@ -79,10 +84,10 @@ var (
 // deterministic when driven single-threaded — the property the experiment
 // harness relies on. Inproc is nevertheless safe for concurrent use.
 type Inproc struct {
-	mu       sync.RWMutex
-	nodes    map[string]*inprocEndpoint
-	seq      atomic.Uint64
-	observer Observer
+	mu    sync.RWMutex
+	nodes map[string]*inprocEndpoint
+	seq   atomic.Uint64
+	obs   Observers
 	// BeforeDeliver, if set, runs before each message is delivered (both
 	// requests and replies). The netsim package uses it to charge latency
 	// to the virtual clock.
@@ -96,9 +101,13 @@ func NewInproc() *Inproc {
 	return &Inproc{nodes: map[string]*inprocEndpoint{}}
 }
 
-// SetObserver installs the message observer (nil disables). Not safe to
-// call concurrently with traffic.
-func (n *Inproc) SetObserver(o Observer) { n.observer = o }
+// SetObserver replaces the observer fan-out with the single observer o
+// (nil disables). Safe to call concurrently with traffic.
+func (n *Inproc) SetObserver(o Observer) { n.obs.Set(o) }
+
+// AddObserver appends an observer to the fan-out, so stats, tracing, and
+// user hooks coexist. Safe to call concurrently with traffic.
+func (n *Inproc) AddObserver(o Observer) { n.obs.Add(o) }
 
 // SetBeforeDeliver installs a pre-delivery hook (nil disables). Not safe to
 // call concurrently with traffic.
@@ -195,9 +204,7 @@ func (e *inprocEndpoint) Call(to string, req *wire.Message) (*wire.Message, erro
 	if bd := e.net.beforeDeliver; bd != nil {
 		bd(e.name, to, req)
 	}
-	if o := e.net.observer; o != nil {
-		o.OnMessage(e.name, to, req)
-	}
+	e.net.obs.OnMessage(e.name, to, req)
 	if callee.closed.Load() {
 		return nil, fmt.Errorf("%w: %s", ErrClosed, to)
 	}
@@ -210,9 +217,7 @@ func (e *inprocEndpoint) Call(to string, req *wire.Message) (*wire.Message, erro
 	if bd := e.net.beforeDeliver; bd != nil {
 		bd(to, e.name, reply)
 	}
-	if o := e.net.observer; o != nil {
-		o.OnMessage(to, e.name, reply)
-	}
+	e.net.obs.OnMessage(to, e.name, reply)
 	if err := wire.ErrorOf(reply); err != nil {
 		return reply, err
 	}
