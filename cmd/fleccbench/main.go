@@ -10,10 +10,13 @@
 //	fleccbench -exp ablation-conflict   # E5: conflict-decision policy
 //	fleccbench -exp ablation-rw         # E6: read/write semantics
 //	fleccbench -exp ablation-peer       # E7: centralized vs decentralized
+//	fleccbench -exp wire                # E13: wire-path micro-benchmarks
 //	fleccbench -exp all                 # everything
 //
 // Figure parameters can be scaled with -agents/-ops; the defaults are the
-// paper's settings.
+// paper's settings. The wire experiment supports -json, which writes a
+// machine-readable report (default BENCH_wire.json, override with -out)
+// instead of the text table — the format CI's benchmark trajectory diffs.
 package main
 
 import (
@@ -26,19 +29,25 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig4, fig5, fig6, ablation-conflict, ablation-rw, ablation-peer, ablation-propagation, buyermix, all")
-		agents = flag.Int("agents", 0, "override agent count (0 = paper default)")
-		ops    = flag.Int("ops", 0, "override per-agent/per-phase op count (0 = paper default)")
-		check  = flag.Bool("check", true, "verify the qualitative shape of each result")
+		exp     = flag.String("exp", "all", "experiment: fig4, fig5, fig6, ablation-conflict, ablation-rw, ablation-peer, ablation-propagation, buyermix, wire, all")
+		agents  = flag.Int("agents", 0, "override agent count (0 = paper default)")
+		ops     = flag.Int("ops", 0, "override per-agent/per-phase op count (0 = paper default)")
+		check   = flag.Bool("check", true, "verify the qualitative shape of each result")
+		jsonOut = flag.Bool("json", false, "wire experiment: write a JSON report instead of a text table")
+		out     = flag.String("out", "BENCH_wire.json", "wire experiment: JSON report path (with -json)")
 	)
 	flag.Parse()
-	if err := run(*exp, *agents, *ops, *check); err != nil {
+	dest := ""
+	if *jsonOut {
+		dest = *out
+	}
+	if err := run(*exp, *agents, *ops, *check, dest); err != nil {
 		fmt.Fprintln(os.Stderr, "fleccbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, agents, ops int, check bool) error {
+func run(exp string, agents, ops int, check bool, wireJSON string) error {
 	switch exp {
 	case "fig4":
 		return runFig4(agents, ops, check)
@@ -56,9 +65,11 @@ func run(exp string, agents, ops int, check bool) error {
 		return runBuyerMix(check)
 	case "ablation-propagation":
 		return runPropagation(check)
+	case "wire":
+		return runWire(wireJSON)
 	case "all":
-		for _, e := range []string{"fig4", "fig5", "fig6", "ablation-conflict", "ablation-rw", "ablation-peer", "ablation-propagation", "buyermix"} {
-			if err := run(e, agents, ops, check); err != nil {
+		for _, e := range []string{"fig4", "fig5", "fig6", "ablation-conflict", "ablation-rw", "ablation-peer", "ablation-propagation", "buyermix", "wire"} {
+			if err := run(e, agents, ops, check, wireJSON); err != nil {
 				return err
 			}
 			fmt.Println()

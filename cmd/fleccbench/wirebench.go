@@ -1,0 +1,247 @@
+package main
+
+// The wire experiment: machine-readable micro-benchmarks of the coalesced
+// wire path, seeding the repo's benchmark trajectory. `fleccbench -exp wire
+// -json` writes BENCH_wire.json with ns/op, allocs/op, and bytes/op per
+// benchmark, so CI (and humans) can diff runs with plain tooling instead of
+// scraping `go test -bench` text.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"flecc/internal/image"
+	"flecc/internal/property"
+	"flecc/internal/transport"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+// wireBenchResult is one benchmark row in BENCH_wire.json.
+type wireBenchResult struct {
+	Name       string  `json:"name"`
+	N          int     `json:"n"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	// Extra carries benchmark-specific metrics (writes/frame for the
+	// coalescing benchmark).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+type wireBenchReport struct {
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	Results   []wireBenchResult `json:"results"`
+}
+
+func wireBenchMessage(entries int) *wire.Message {
+	img := image.New(property.MustSet("Flights={100..139}"))
+	for i := 0; i < entries; i++ {
+		img.Put(image.Entry{
+			Key:     fmt.Sprintf("flight/%03d", i),
+			Value:   []byte("NYC|SFO|200|57|19900"),
+			Version: vclock.Version(i),
+			Writer:  "agent-042",
+		})
+	}
+	img.Version = vclock.Version(entries)
+	return &wire.Message{Type: wire.TPush, Seq: 42, From: "agent-042", View: "agent-042", Ops: 7, Img: img}
+}
+
+// repeatFrames replays one framed message forever (the read side of the
+// round-trip benchmark).
+type repeatFrames struct {
+	b   []byte
+	off int
+}
+
+func (r *repeatFrames) Read(p []byte) (int, error) {
+	if r.off == len(r.b) {
+		r.off = 0
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// frameBytes returns m framed for the stream.
+func frameBytes(m *wire.Message) []byte {
+	var sink appendSink
+	if err := wire.WriteFrame(&sink, m); err != nil {
+		panic(err)
+	}
+	return sink.b
+}
+
+type appendSink struct{ b []byte }
+
+func (s *appendSink) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// yieldSink counts writes and yields per call the way a real write syscall
+// parks its goroutine — the window where concurrent senders coalesce.
+type yieldSink struct {
+	mu     sync.Mutex
+	writes int64
+}
+
+func (s *yieldSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	s.writes++
+	s.mu.Unlock()
+	runtime.Gosched()
+	return len(p), nil
+}
+
+// runWireBenchmarks runs the wire-path benchmark set programmatically via
+// testing.Benchmark and returns the rows.
+func runWireBenchmarks() []wireBenchResult {
+	var out []wireBenchResult
+	add := func(name string, extra map[string]float64, r testing.BenchmarkResult) {
+		out = append(out, wireBenchResult{
+			Name:        name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Extra:       extra,
+		})
+	}
+
+	// Round trip: WriteFrame + buffered FrameReader.Read per op.
+	for _, tc := range []struct {
+		name    string
+		entries int
+	}{{"wire_round_trip/ack", 0}, {"wire_round_trip/push8", 8}, {"wire_round_trip/push128", 128}} {
+		m := wireBenchMessage(tc.entries)
+		if tc.entries == 0 {
+			m = &wire.Message{Type: wire.TAck, Seq: 7, From: "dm", Version: 9}
+		}
+		framed := frameBytes(m)
+		fr := wire.NewFrameReader(&repeatFrames{b: framed})
+		add(tc.name, nil, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := wire.WriteFrame(io.Discard, m); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := fr.Read(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	// Encode-once fan-out: one 64-entry body to 8 targets, per-target
+	// re-encode vs Preencode + header stamps.
+	base := wireBenchMessage(64)
+	base.Type = wire.TUpdate
+	const targets = 8
+	add("fanout_encode/per_target_x8", nil, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < targets; t++ {
+				m := *base
+				m.View = "v"
+				if err := wire.WriteFrame(io.Discard, &m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}))
+	add("fanout_encode/encode_once_x8", nil, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := *base
+			m.Pre = wire.Preencode(&m)
+			for t := 0; t < targets; t++ {
+				mm := m
+				mm.View = "v"
+				if err := wire.WriteFrame(io.Discard, &mm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}))
+
+	// Coalesced writes: 8 concurrent senders on one yielding link. The
+	// interesting number is writes/frame — the syscall ratio.
+	const senders = 8
+	sink := &yieldSink{}
+	var frames int64
+	res := testing.Benchmark(func(b *testing.B) {
+		// Reset per testing.Benchmark calibration round so the final
+		// round's counts line up.
+		sink.mu.Lock()
+		sink.writes = 0
+		sink.mu.Unlock()
+		q := transport.NewCoalescer(sink, nil)
+		b.ReportAllocs()
+		var wg sync.WaitGroup
+		per := b.N/senders + 1
+		frames = int64(senders * per)
+		for s := 0; s < senders; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					m := &wire.Message{Type: wire.TAck, Seq: uint64(s*per + i), From: "bench"}
+					if err := q.Send(m); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+	})
+	sink.mu.Lock()
+	writes := sink.writes
+	sink.mu.Unlock()
+	add("coalesced_writes/8senders", map[string]float64{
+		"writes_per_frame": float64(writes) / float64(frames),
+	}, res)
+
+	return out
+}
+
+// runWire executes the wire benchmark set; with jsonOut non-empty the
+// report is written there as JSON, otherwise a text table goes to stdout.
+func runWire(jsonOut string) error {
+	report := wireBenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   runWireBenchmarks(),
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", jsonOut, len(report.Results))
+		return nil
+	}
+	fmt.Printf("%-32s %12s %12s %12s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+	for _, r := range report.Results {
+		fmt.Printf("%-32s %12.1f %12d %12d", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		for k, v := range r.Extra {
+			fmt.Printf("  %s=%.4f", k, v)
+		}
+		fmt.Println()
+	}
+	return nil
+}

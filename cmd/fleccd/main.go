@@ -85,7 +85,8 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 		ln = secure.NewListener(ln, secure.NewPair([]byte(key)))
 		log.Printf("fleccd: link protected by encryptor/decryptor pair")
 	}
-	var tnet transport.Network = transport.NewServerNetwork(ln, 30*time.Second)
+	snet := transport.NewServerNetwork(ln, 30*time.Second)
+	var tnet transport.Network = snet
 	var faulty *transport.Faulty
 	if faults.enabled() {
 		faulty = transport.NewFaulty(tnet, faults.seed)
@@ -105,6 +106,7 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 		return err
 	}
 	d.faulty = faulty
+	d.snet = snet
 	defer d.close()
 	if d.svc != nil {
 		d.svc.Router().SetRetryPolicy(retry)
@@ -191,6 +193,7 @@ type deployment struct {
 	brdg   *shard.Bridge
 	stats  *metrics.MessageStats
 	faulty *transport.Faulty
+	snet   *transport.ServerNetwork // wire counters for the status line
 	ckpt   string
 }
 
@@ -326,6 +329,18 @@ func latencyLine(dms ...*directory.Manager) string {
 	return "lat " + strings.Join(parts, " ")
 }
 
+// sizeString renders a byte count with a binary unit suffix.
+func sizeString(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
 // compact drops update-log records every live view has already seen.
 func (d *deployment) compact() int {
 	if d.dm != nil {
@@ -366,6 +381,12 @@ func (d *deployment) status() string {
 		}
 		if per := d.stats.PerShardString(); per != "" {
 			fmt.Fprintf(&b, "; traffic %s", per)
+		}
+	}
+	if d.snet != nil {
+		if ws := d.snet.WireStats(); ws.Flushes > 0 {
+			fmt.Fprintf(&b, "; wire %d frames/%d writes (%.2f per write, %s)",
+				ws.Frames, ws.Flushes, float64(ws.Frames)/float64(ws.Flushes), sizeString(ws.Bytes))
 		}
 	}
 	if d.faulty != nil {

@@ -381,21 +381,30 @@ func (m *Manager) handlePull(req *wire.Message) *wire.Message {
 			inval = append(inval, other)
 		}
 	}
-	if err := m.forEachTarget(inval, func(other string) error {
-		if err := m.invalidateView(other); err != nil {
-			return fmt.Errorf("invalidate %s: %v", other, err)
+	// Every TInvalidate in the round shares one pre-encoded body; only the
+	// per-link header (Seq/From/View) differs per target.
+	if len(inval) > 0 {
+		pre := wire.Preencode(&wire.Message{Type: wire.TInvalidate})
+		if err := m.forEachTarget(inval, func(other string) error {
+			if err := m.invalidateView(other, pre); err != nil {
+				return fmt.Errorf("invalidate %s: %v", other, err)
+			}
+			return nil
+		}); err != nil {
+			return errf("%v", err)
 		}
-		return nil
-	}); err != nil {
-		return errf("%v", err)
 	}
 
 	// 2. Gathering: when the primary's data is not "good enough" for this
 	// view, fetch pending updates from the other active sharers first.
 	if m.shouldGather(vs, req) {
 		targets := m.gatherTargets(view)
+		var pre *wire.Frame
+		if len(targets) > 0 {
+			pre = wire.Preencode(&wire.Message{Type: wire.TPull})
+		}
 		if err := m.forEachTarget(targets, func(other string) error {
-			if err := m.fetchFrom(other); err != nil {
+			if err := m.fetchFrom(other, pre); err != nil {
 				return fmt.Errorf("fetch from %s: %v", other, err)
 			}
 			return nil
@@ -573,9 +582,10 @@ func (m *Manager) evictView(target string) {
 // invalidateView sends TInvalidate, commits the returned pending delta,
 // and deactivates the view (Figure 2, steps 12–14). An unreachable view
 // is evicted and reported as nil — a dead component must not wedge every
-// conflicting pull forever.
-func (m *Manager) invalidateView(target string) error {
-	reply, err := m.callView(target, &wire.Message{Type: wire.TInvalidate, View: target})
+// conflicting pull forever. pre is the round's shared pre-encoded body
+// (nil to encode per call).
+func (m *Manager) invalidateView(target string, pre *wire.Frame) error {
+	reply, err := m.callView(target, &wire.Message{Type: wire.TInvalidate, View: target, Pre: pre})
 	if err != nil {
 		if transport.IsTransportError(err) {
 			m.evictView(target)
@@ -589,9 +599,10 @@ func (m *Manager) invalidateView(target string) error {
 
 // fetchFrom asks an active view for its pending updates without stopping
 // it (weak-mode gathering). Like invalidateView, an unreachable view is
-// evicted rather than failing the caller's pull.
-func (m *Manager) fetchFrom(target string) error {
-	reply, err := m.callView(target, &wire.Message{Type: wire.TPull, View: target})
+// evicted rather than failing the caller's pull. pre is the round's shared
+// pre-encoded body (nil to encode per call).
+func (m *Manager) fetchFrom(target string, pre *wire.Frame) error {
+	reply, err := m.callView(target, &wire.Message{Type: wire.TPull, View: target, Pre: pre})
 	if err != nil {
 		if transport.IsTransportError(err) {
 			m.evictView(target)
@@ -637,24 +648,56 @@ func (m *Manager) handlePush(req *wire.Message) *wire.Message {
 // propagate forwards a freshly committed update to every conflicting
 // active view (excluding the writer), restricted to each recipient's
 // property set and trimmed to entries it has not seen.
+//
+// Encode-once fan-out: recipients sharing a property set and seen version
+// receive byte-identical payloads, so the round extracts and pre-encodes
+// each distinct (props, since) delta exactly once and the transport stamps
+// only the per-link header per target. The prepared requests are built
+// serially in conflict-set order, so FanOut=1 contacts the same targets in
+// the same order (with the same empty-delta skips) as the per-target path
+// did.
 func (m *Manager) propagate(writer string, ver vclock.Version) error {
-	return m.forEachTarget(m.conflictSet(writer, true), func(other string) error {
+	type prepared struct {
+		base *wire.Message // shared Img/Version/Pre; nil for an empty delta
+	}
+	payloads := map[string]*prepared{}
+	var targets []string
+	reqs := map[string]*wire.Message{}
+	for _, other := range m.conflictSet(writer, true) {
 		os, ok := m.viewState(other)
 		if !ok {
-			return nil
+			continue
 		}
 		props, _ := m.reg.Props(other)
 		m.mu.Lock()
 		since := os.seen
 		m.mu.Unlock()
-		img, err := m.store.Extract(props, since)
-		if err != nil {
-			return err
+		key := fmt.Sprintf("%s@%d", props.String(), since)
+		pl, ok := payloads[key]
+		if !ok {
+			img, err := m.store.Extract(props, since)
+			if err != nil {
+				return err
+			}
+			pl = &prepared{}
+			if img.Len() > 0 {
+				base := &wire.Message{Type: wire.TUpdate, Img: img, Version: ver}
+				base.Pre = wire.Preencode(base)
+				pl.base = base
+			}
+			payloads[key] = pl
 		}
-		if img.Len() == 0 {
-			return nil
+		if pl.base == nil {
+			// Nothing this recipient hasn't already seen.
+			continue
 		}
-		reply, err := m.callView(other, &wire.Message{Type: wire.TUpdate, View: other, Img: img, Version: ver})
+		req := *pl.base // shallow clone shares Img and Pre; View differs
+		req.View = other
+		reqs[other] = &req
+		targets = append(targets, other)
+	}
+	return m.forEachTarget(targets, func(other string) error {
+		reply, err := m.callView(other, reqs[other])
 		if err != nil {
 			if transport.IsTransportError(err) {
 				// An unreachable recipient is evicted, not allowed to fail
@@ -665,11 +708,13 @@ func (m *Manager) propagate(writer string, ver vclock.Version) error {
 			return fmt.Errorf("update %s: %w", other, err)
 		}
 		_ = reply
-		m.mu.Lock()
-		if ver > os.seen {
-			os.seen = ver
+		if os, ok := m.viewState(other); ok {
+			m.mu.Lock()
+			if ver > os.seen {
+				os.seen = ver
+			}
+			m.mu.Unlock()
 		}
-		m.mu.Unlock()
 		return nil
 	})
 }

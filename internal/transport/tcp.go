@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -25,7 +26,12 @@ type peer struct {
 	// wire view. Nil disables observation.
 	obs *Observers
 
-	writeMu sync.Mutex // serializes frames onto conn
+	// fr is the buffered, scratch-reusing frame reader over conn: only the
+	// read loop touches it. wq is the group-commit outbound path: any
+	// goroutine sends through it, and concurrent frames coalesce into
+	// batched writes while preserving enqueue order.
+	fr *wire.FrameReader
+	wq *writeQueue
 
 	mu      sync.Mutex
 	pending map[uint64]chan *wire.Message
@@ -45,11 +51,13 @@ type peer struct {
 	wg      sync.WaitGroup
 }
 
-func newPeer(name string, conn net.Conn, h Handler) *peer {
+func newPeer(name string, conn net.Conn, h Handler, stats *WireStats) *peer {
 	return &peer{
 		name:    name,
 		conn:    conn,
 		handler: h,
+		fr:      wire.NewFrameReader(conn),
+		wq:      newWriteQueue(conn, stats),
 		pending: map[uint64]chan *wire.Message{},
 	}
 }
@@ -62,7 +70,7 @@ func (p *peer) start() {
 func (p *peer) readLoop() {
 	defer p.wg.Done()
 	for {
-		m, err := wire.ReadFrame(p.conn)
+		m, err := p.fr.Read()
 		if err != nil {
 			p.shutdown(err)
 			return
@@ -74,9 +82,12 @@ func (p *peer) readLoop() {
 			}
 		})
 		if rejected != nil {
-			p.writeMu.Lock()
-			wire.WriteFrame(p.conn, &wire.Message{Type: wire.TErr, Seq: m.Seq, From: p.name, Err: rejected.Error()})
-			p.writeMu.Unlock()
+			// Best-effort courtesy reply; if even that write fails, the
+			// failure joins the rejection reason so shutdown (and the
+			// eviction metrics behind onClose) see the full story.
+			if werr := p.wq.send(&wire.Message{Type: wire.TErr, Seq: m.Seq, From: p.name, Err: rejected.Error()}); werr != nil {
+				rejected = errors.Join(rejected, werr)
+			}
 			p.shutdown(rejected)
 			return
 		}
@@ -92,10 +103,7 @@ func (p *peer) readLoop() {
 			if p.obs != nil {
 				p.obs.OnMessage(p.name, m.From, ack)
 			}
-			p.writeMu.Lock()
-			err := wire.WriteFrame(p.conn, ack)
-			p.writeMu.Unlock()
-			if err != nil {
+			if err := p.wq.send(ack); err != nil {
 				p.shutdown(err)
 				return
 			}
@@ -124,10 +132,7 @@ func (p *peer) readLoop() {
 			if p.obs != nil {
 				p.obs.OnMessage(p.name, req.From, reply)
 			}
-			p.writeMu.Lock()
-			err := wire.WriteFrame(p.conn, reply)
-			p.writeMu.Unlock()
-			if err != nil {
+			if err := p.wq.send(reply); err != nil {
 				p.shutdown(err)
 			}
 		}(m)
@@ -175,10 +180,7 @@ func (p *peer) call(to string, req *wire.Message, timeout time.Duration) (*wire.
 	p.pending[seq] = ch
 	p.mu.Unlock()
 
-	p.writeMu.Lock()
-	err := wire.WriteFrame(p.conn, req)
-	p.writeMu.Unlock()
-	if err != nil {
+	if err := p.wq.send(req); err != nil {
 		p.mu.Lock()
 		delete(p.pending, seq)
 		p.mu.Unlock()
@@ -223,6 +225,12 @@ func (p *peer) shutdown(err error) {
 	for _, ch := range pend {
 		close(ch)
 	}
+	// Poison the write queue first so new senders fail fast, then close
+	// the conn so an in-flight flusher's blocked write returns too.
+	if err == nil {
+		err = ErrClosed
+	}
+	p.wq.fail(err)
 	p.conn.Close()
 	if p.onClose != nil {
 		p.onClose(p)
@@ -248,6 +256,9 @@ type Server struct {
 	handler Handler
 	timeout time.Duration
 	obs     *Observers // shared with every accepted peer
+
+	// stats aggregates wire counters across every accepted connection.
+	stats WireStats
 
 	mu      sync.Mutex
 	clients map[string]*peer
@@ -286,6 +297,10 @@ func (s *Server) SetObserver(o Observer) { s.obs.Set(o) }
 // Name returns the server's node name.
 func (s *Server) Name() string { return s.name }
 
+// WireStats snapshots the outbound wire counters aggregated across all of
+// the server's connections (frames written, flushes issued, bytes sent).
+func (s *Server) WireStats() WireStatsSnapshot { return s.stats.Snapshot() }
+
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
@@ -296,7 +311,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		p := newPeer(s.name, conn, s.handler)
+		p := newPeer(s.name, conn, s.handler, &s.stats)
 		p.obs = s.obs
 		p.onFirstMessage = func(from string, pr *peer) error {
 			s.mu.Lock()
@@ -430,6 +445,17 @@ func (n *ServerNetwork) Server() *Server {
 	return n.srv
 }
 
+// WireStats snapshots the server's wire counters (zero before Attach).
+func (n *ServerNetwork) WireStats() WireStatsSnapshot {
+	n.mu.Lock()
+	srv := n.srv
+	n.mu.Unlock()
+	if srv == nil {
+		return WireStatsSnapshot{}
+	}
+	return srv.WireStats()
+}
+
 type serverEndpoint struct{ s *Server }
 
 func (e serverEndpoint) Name() string { return e.s.Name() }
@@ -500,6 +526,7 @@ var _ Endpoint = (*Client)(nil)
 type Client struct {
 	p       *peer
 	timeout time.Duration
+	stats   WireStats
 }
 
 // Dial connects to a Server at addr as node name. The handler serves
@@ -555,10 +582,11 @@ func DialConn(conn net.Conn, name string, h Handler, timeout time.Duration) (*Cl
 		conn.Close()
 		return nil, err
 	}
-	p := newPeer(name, conn, h)
-	p.obs = &Observers{}
-	p.start()
-	return &Client{p: p, timeout: timeout}, nil
+	c := &Client{timeout: timeout}
+	c.p = newPeer(name, conn, h, &c.stats)
+	c.p.obs = &Observers{}
+	c.p.start()
+	return c, nil
 }
 
 // Name implements Endpoint.
@@ -567,6 +595,9 @@ func (c *Client) Name() string { return c.p.name }
 // AddObserver appends an observer that sees every frame crossing this
 // client's connection.
 func (c *Client) AddObserver(o Observer) { c.p.obs.Add(o) }
+
+// WireStats snapshots the client connection's outbound wire counters.
+func (c *Client) WireStats() WireStatsSnapshot { return c.stats.Snapshot() }
 
 // Call implements Endpoint; the destination name is informational only
 // (the star topology has a single hub), and is reported to observers.

@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flecc/internal/image"
+	"flecc/internal/property"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+// countingWriter records every Write call (the syscall proxy) and the
+// bytes, optionally gating writes so a test can force frames to pile up
+// behind one in-flight flush.
+type countingWriter struct {
+	mu     sync.Mutex
+	writes int
+	buf    bytes.Buffer
+	gate   chan struct{} // non-nil: each Write blocks until a tick
+	fail   error         // non-nil: every Write fails
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	if w.gate != nil {
+		<-w.gate
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fail != nil {
+		return 0, w.fail
+	}
+	w.writes++
+	w.buf.Write(p)
+	return len(p), nil
+}
+
+func (w *countingWriter) snapshot() (int, []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes, bytes.Clone(w.buf.Bytes())
+}
+
+func decodeAll(t *testing.T, stream []byte) []*wire.Message {
+	t.Helper()
+	fr := wire.NewFrameReader(bytes.NewReader(stream))
+	var out []*wire.Message
+	for {
+		m, err := fr.Read()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("decode stream: %v", err)
+		}
+		out = append(out, m)
+	}
+}
+
+// Concurrent senders must produce a valid, complete frame stream: every
+// frame exactly once, each intact, regardless of how sends interleave.
+func TestWriteQueueConcurrentFraming(t *testing.T) {
+	w := &countingWriter{}
+	q := newWriteQueue(w, nil)
+	const senders, perSender = 8, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				m := &wire.Message{Type: wire.TAck, Seq: uint64(s*perSender + i), From: fmt.Sprintf("s%d", s)}
+				if err := q.send(m); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	_, stream := w.snapshot()
+	got := decodeAll(t, stream)
+	if len(got) != senders*perSender {
+		t.Fatalf("decoded %d frames, want %d", len(got), senders*perSender)
+	}
+	seen := map[uint64]bool{}
+	for _, m := range got {
+		if seen[m.Seq] {
+			t.Fatalf("frame seq %d written twice", m.Seq)
+		}
+		seen[m.Seq] = true
+	}
+}
+
+// A single sender's frames must appear on the stream in send order (the
+// write-order guarantee the reply-matching protocol relies on).
+func TestWriteQueuePreservesOrder(t *testing.T) {
+	w := &countingWriter{}
+	q := newWriteQueue(w, nil)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := q.send(&wire.Message{Type: wire.TAck, Seq: uint64(i), From: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, stream := w.snapshot()
+	got := decodeAll(t, stream)
+	if len(got) != n {
+		t.Fatalf("decoded %d frames, want %d", len(got), n)
+	}
+	for i, m := range got {
+		if m.Seq != uint64(i) {
+			t.Fatalf("frame %d has seq %d: order not preserved", i, m.Seq)
+		}
+	}
+}
+
+// Frames queued behind a blocked flush must coalesce: with the first write
+// gated, N-1 more senders enqueue, and releasing the gate lets the whole
+// backlog go out in one more write.
+func TestWriteQueueCoalesces(t *testing.T) {
+	w := &countingWriter{gate: make(chan struct{}, 64)}
+	q := newWriteQueue(w, nil)
+	const backlog = 15
+
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	errs := make([]error, backlog+1)
+	started.Add(1)
+	wg.Add(1)
+	go func() { // becomes the flusher, blocks in Write on the gate
+		defer wg.Done()
+		started.Done()
+		errs[0] = q.send(&wire.Message{Type: wire.TAck, Seq: 0, From: "a"})
+	}()
+	started.Wait()
+	waitFor(t, func() bool { return queuePending(q) == 0 && queueFlushing(q) })
+	for i := 1; i <= backlog; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = q.send(&wire.Message{Type: wire.TAck, Seq: uint64(i), From: "a"})
+		}(i)
+	}
+	waitFor(t, func() bool { return queuePending(q) == backlog })
+	w.gate <- struct{}{} // release the first flush
+	w.gate <- struct{}{} // release the batched flush
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sender %d: %v", i, err)
+		}
+	}
+	writes, stream := w.snapshot()
+	if writes != 2 {
+		t.Fatalf("writes = %d, want 2 (first frame + coalesced backlog)", writes)
+	}
+	if got := decodeAll(t, stream); len(got) != backlog+1 {
+		t.Fatalf("decoded %d frames, want %d", len(got), backlog+1)
+	}
+}
+
+// A write failure must reach every sender whose frame was lost — the one
+// mid-flush and everyone queued behind it — and poison future sends.
+func TestWriteQueueFailWakesSenders(t *testing.T) {
+	boom := errors.New("boom")
+	w := &countingWriter{gate: make(chan struct{}, 64), fail: boom}
+	q := newWriteQueue(w, nil)
+
+	const waiters = 5
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := q.send(&wire.Message{Type: wire.TAck, Seq: uint64(i), From: "a"}); err != nil {
+				failed.Add(1)
+			}
+		}(i)
+	}
+	waitFor(t, func() bool { return queueFlushing(q) })
+	for i := 0; i < waiters; i++ {
+		w.gate <- struct{}{}
+	}
+	wg.Wait()
+	if got := failed.Load(); got != waiters {
+		t.Fatalf("%d senders saw the failure, want %d", got, waiters)
+	}
+	if err := q.send(&wire.Message{Type: wire.TAck}); !errors.Is(err, boom) {
+		t.Fatalf("poisoned queue accepted a send: %v", err)
+	}
+}
+
+// fail() must wake senders whose frames are queued but unwritten.
+func TestWriteQueueFailReleasesPending(t *testing.T) {
+	w := &countingWriter{gate: make(chan struct{}, 64)}
+	q := newWriteQueue(w, nil)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // flusher, parked on the gate
+		defer wg.Done()
+		_ = q.send(&wire.Message{Type: wire.TAck, Seq: 0, From: "a"})
+	}()
+	waitFor(t, func() bool { return queueFlushing(q) })
+	errCh := make(chan error, 1)
+	wg.Add(1)
+	go func() { // queued behind the in-flight flush
+		defer wg.Done()
+		errCh <- q.send(&wire.Message{Type: wire.TAck, Seq: 1, From: "a"})
+	}()
+	waitFor(t, func() bool { return queuePending(q) == 1 })
+	q.fail(ErrClosed)
+	if err := <-errCh; !errors.Is(err, ErrClosed) {
+		t.Fatalf("pending sender got %v, want ErrClosed", err)
+	}
+	w.gate <- struct{}{} // let the parked flusher finish
+	wg.Wait()
+}
+
+// Wire stats must account every frame and flush.
+func TestWriteQueueStats(t *testing.T) {
+	var stats WireStats
+	w := &countingWriter{}
+	q := newWriteQueue(w, &stats)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := q.send(&wire.Message{Type: wire.TAck, Seq: uint64(i), From: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := stats.Snapshot()
+	_, stream := w.snapshot()
+	if snap.Frames != n {
+		t.Fatalf("Frames = %d, want %d", snap.Frames, n)
+	}
+	if snap.Flushes != n { // serial sends: one flush each
+		t.Fatalf("Flushes = %d, want %d", snap.Flushes, n)
+	}
+	if snap.Bytes != int64(len(stream)) {
+		t.Fatalf("Bytes = %d, stream has %d", snap.Bytes, len(stream))
+	}
+	if (*WireStats)(nil).Snapshot() != (WireStatsSnapshot{}) {
+		t.Fatal("nil WireStats should snapshot to zero")
+	}
+}
+
+// Large shared bodies ride as a second writev segment; the stream must
+// still carry intact frames.
+func TestWriteQueueLargeSharedBody(t *testing.T) {
+	w := &countingWriter{}
+	q := newWriteQueue(w, nil)
+	base := benchImageMessage(t, 600)
+	base.Pre = wire.Preencode(base)
+	const n = 4
+	for i := 0; i < n; i++ {
+		m := *base
+		m.Seq = uint64(i)
+		m.View = fmt.Sprintf("v%d", i)
+		if err := q.send(&m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, stream := w.snapshot()
+	got := decodeAll(t, stream)
+	if len(got) != n {
+		t.Fatalf("decoded %d frames, want %d", len(got), n)
+	}
+	for i, m := range got {
+		if m.View != fmt.Sprintf("v%d", i) || m.Img == nil || m.Img.Len() != base.Img.Len() {
+			t.Fatalf("frame %d corrupted: %s", i, m)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// benchImageMessage builds a TUpdate whose encoded body exceeds the inline
+// threshold, exercising the two-segment write path.
+func benchImageMessage(t testing.TB, entries int) *wire.Message {
+	t.Helper()
+	img := image.New(property.MustSet("Flights={100..139}"))
+	for i := 0; i < entries; i++ {
+		img.Put(image.Entry{
+			Key:     fmt.Sprintf("flight/%04d", i),
+			Value:   []byte("NYC|SFO|200|57|19900"),
+			Version: vclock.Version(i),
+			Writer:  "agent-042",
+		})
+	}
+	img.Version = vclock.Version(entries)
+	return &wire.Message{Type: wire.TUpdate, From: "dm", Img: img, Version: img.Version}
+}
+
+func queuePending(q *writeQueue) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+func queueFlushing(q *writeQueue) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.flushing
+}

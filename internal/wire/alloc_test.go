@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"testing"
@@ -55,5 +56,70 @@ func TestCodecEncodeAllocs(t *testing.T) {
 	const maxFrameAllocs = 11
 	if got > maxFrameAllocs {
 		t.Errorf("WriteFrame allocs/op = %.1f, want <= %d", got, maxFrameAllocs)
+	}
+}
+
+// repeatFrames serves the same pre-framed bytes forever, so a steady-state
+// read loop can be measured without re-writing frames inside the run.
+type repeatFrames struct {
+	b   []byte
+	off int
+}
+
+func (r *repeatFrames) Read(p []byte) (int, error) {
+	if r.off == len(r.b) {
+		r.off = 0
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestRoundTripAllocs pins the steady-state allocation budget of a full
+// WriteFrame + FrameReader.Read round trip — the per-message cost of the
+// buffered wire path. The ceilings are what pooling buys: the write side is
+// alloc-free for small messages, and the read side allocates only the
+// decoded Message (plus its strings/entries), never the payload buffer.
+func TestRoundTripAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Message
+		max  float64
+	}{
+		// Decode of a tiny ack allocates the Message and nothing else;
+		// WriteFrame is alloc-free.
+		{"small-ack", &Message{Type: TAck, Seq: 7, From: "dm", Version: 9}, 3},
+		// A keyed-image push pays for the decoded image: per entry a key,
+		// a value copy, a writer string, and the map insert.
+		{"keyed-push", allocTestMessage(8), 60},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, tc.m); err != nil {
+				t.Fatal(err)
+			}
+			fr := NewFrameReader(&repeatFrames{b: buf.Bytes()})
+			// Warm the pool and the reader scratch.
+			for i := 0; i < 8; i++ {
+				if err := WriteFrame(io.Discard, tc.m); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := fr.Read(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := testing.AllocsPerRun(200, func() {
+				if err := WriteFrame(io.Discard, tc.m); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := fr.Read(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got > tc.max {
+				t.Errorf("round-trip allocs/op = %.1f, want <= %.0f", got, tc.max)
+			}
+		})
 	}
 }

@@ -153,11 +153,28 @@ func Encode(m *Message) []byte {
 }
 
 func (e *encoder) message(m *Message) {
+	e.header(m)
+	if m.Pre != nil {
+		e.buf = append(e.buf, m.Pre.body...)
+		return
+	}
+	e.body(m)
+}
+
+// header serializes the per-link fields: the ones a fan-out round stamps
+// freshly for every target (Type, Seq, From, View) plus the codec version.
+// header followed by body is byte-identical to the pre-split encoding.
+func (e *encoder) header(m *Message) {
 	e.u8(codecVersion)
 	e.u8(uint8(m.Type))
 	e.u64(m.Seq)
 	e.str(m.From)
 	e.str(m.View)
+}
+
+// body serializes everything after the header — the shareable part a
+// Preencode captures once per round.
+func (e *encoder) body(m *Message) {
 	e.u8(uint8(m.Mode))
 	e.u8(uint8(m.Op))
 	e.u64(uint64(m.Since))

@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flecc/internal/image"
+	"flecc/internal/property"
+)
+
+// Preencode must be invisible on the wire: a message with Pre attached
+// encodes byte-identically to the same message without it, for every
+// generated shape. This is what lets a fan-out round share one body across
+// targets without perturbing figure byte counts.
+func TestPreencodeBytesIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for i := 0; i < 300; i++ {
+		m := genMessage(r)
+		plain := Encode(m)
+		m.Pre = Preencode(m)
+		pre := Encode(m)
+		if !bytes.Equal(plain, pre) {
+			t.Fatalf("message %d: Pre-attached encoding differs (%d vs %d bytes)", i, len(plain), len(pre))
+		}
+	}
+}
+
+// The per-link header really is per-link: two targets sharing one Pre but
+// differing in Seq/From/View must decode to their own header fields and a
+// common body.
+func TestPreencodeSharedAcrossTargets(t *testing.T) {
+	base := sampleMessage()
+	base.Pre = Preencode(base)
+	for _, target := range []string{"agent-1", "agent-2", "agent-3"} {
+		m := *base // shallow clone shares Img and Pre
+		m.View = target
+		m.Seq = uint64(len(target))
+		got, err := Decode(Encode(&m))
+		if err != nil {
+			t.Fatalf("target %s: %v", target, err)
+		}
+		if got.View != target || got.Seq != m.Seq {
+			t.Fatalf("target %s: header fields lost (view=%q seq=%d)", target, got.View, got.Seq)
+		}
+		want := *base
+		want.View = target
+		want.Seq = m.Seq
+		if !messagesEqual(&want, got) {
+			t.Fatalf("target %s: body mismatch", target)
+		}
+	}
+}
+
+// EncodeFrame output must be byte-identical to WriteFrame for the same
+// message, with and without an attached Pre, across the inline and
+// segmented (large-body) paths.
+func TestEncodeFrameMatchesWriteFrame(t *testing.T) {
+	big := allocTestMessage(600) // body comfortably over inlineBody
+	if Preencode(big).BodyLen() <= inlineBody {
+		t.Fatal("test message too small to exercise the segmented path")
+	}
+	msgs := []*Message{
+		{Type: TAck, Seq: 1, From: "dm"},
+		sampleMessage(),
+		big,
+	}
+	for i, m := range msgs {
+		for _, withPre := range []bool{false, true} {
+			mm := *m
+			if withPre {
+				mm.Pre = Preencode(&mm)
+			}
+			var want bytes.Buffer
+			if err := WriteFrame(&want, &mm); err != nil {
+				t.Fatal(err)
+			}
+			f, err := EncodeFrame(&mm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Len() != want.Len() {
+				t.Fatalf("msg %d pre=%v: Len = %d, want %d", i, withPre, f.Len(), want.Len())
+			}
+			var gotW bytes.Buffer
+			if _, err := f.WriteTo(&gotW); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotW.Bytes(), want.Bytes()) {
+				t.Fatalf("msg %d pre=%v: WriteTo bytes differ", i, withPre)
+			}
+			var gotS []byte
+			for _, seg := range f.Segments() {
+				gotS = append(gotS, seg...)
+			}
+			if !bytes.Equal(gotS, want.Bytes()) {
+				t.Fatalf("msg %d pre=%v: Segments bytes differ", i, withPre)
+			}
+			f.Release()
+		}
+	}
+}
+
+// A large pre-encoded body is referenced, not copied: the frame carries two
+// segments and the second aliases the Frame's bytes.
+func TestEncodeFrameSegmentsLargeBody(t *testing.T) {
+	m := allocTestMessage(600)
+	m.Pre = Preencode(m)
+	f, err := EncodeFrame(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release()
+	segs := f.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("want 2 segments for a large shared body, got %d", len(segs))
+	}
+	if &segs[1][0] != &m.Pre.body[0] {
+		t.Fatal("large body should be referenced, not copied")
+	}
+}
+
+func TestEncodeFrameTooLarge(t *testing.T) {
+	val := strings.Repeat("x", maxFrame/4)
+	img := image.New(property.MustSet("A={1..8}"))
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		img.Put(image.Entry{Key: k, Value: []byte(val), Version: 1, Writer: "w"})
+	}
+	m := &Message{Type: TPush, Img: img}
+	if _, err := EncodeFrame(m); err == nil {
+		t.Fatal("oversized frame should fail to encode")
+	}
+}
+
+// FrameReader must read back-to-back frames off a stream identically to
+// ReadFrame, including across its internal buffer boundary and for frames
+// larger than the buffer.
+func TestFrameReaderStream(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	var msgs []*Message
+	var buf bytes.Buffer
+	for i := 0; i < 200; i++ {
+		m := genMessage(r)
+		msgs = append(msgs, m)
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	big := allocTestMessage(3000) // frame well over frameReaderBuf
+	msgs = append(msgs, big)
+	if err := WriteFrame(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(iotest{r: &buf})
+	for i, want := range msgs {
+		got, err := fr.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !messagesEqual(want, got) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("want EOF past the end, got %v", err)
+	}
+}
+
+// iotest dribbles reads in small odd-sized chunks so frames straddle read
+// boundaries.
+type iotest struct{ r io.Reader }
+
+func (d iotest) Read(p []byte) (int, error) {
+	if len(p) > 7 {
+		p = p[:7]
+	}
+	return d.r.Read(p)
+}
+
+func TestFrameReaderLimits(t *testing.T) {
+	fr := NewFrameReader(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF}))
+	if _, err := fr.Read(); err == nil {
+		t.Fatal("oversized frame should fail")
+	}
+}
+
+// Decoded messages must not alias the reader's scratch: reading the next
+// frame cannot mutate the previous message.
+func TestFrameReaderNoAliasing(t *testing.T) {
+	var buf bytes.Buffer
+	a := sampleMessage()
+	b := allocTestMessage(10)
+	if err := WriteFrame(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&buf)
+	gotA, err := fr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Read(); err != nil { // overwrites the scratch
+		t.Fatal(err)
+	}
+	if !messagesEqual(a, gotA) {
+		t.Fatal("first message corrupted by the second read")
+	}
+}
