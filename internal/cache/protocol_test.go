@@ -129,6 +129,21 @@ func newRig(t *testing.T, opts directory.Options) *rig {
 		stats: metrics.NewMessageStats(false),
 		prim:  newKV(map[string]string{"seed": "s0"}),
 	}
+	// With FLECC_TEST_INVARIANTS=1 every rig-based test additionally
+	// asserts the directory's invariant self-checks once it finishes
+	// (every manager in the deployment, including all shards).
+	if os.Getenv("FLECC_TEST_INVARIANTS") == "1" {
+		t.Cleanup(func() {
+			if t.Failed() {
+				return
+			}
+			for _, dm := range r.dms() {
+				if err := dm.CheckInvariants(); err != nil {
+					t.Errorf("FLECC_TEST_INVARIANTS: %s: post-test invariant check failed: %v", dm.Name(), err)
+				}
+			}
+		})
+	}
 	if n := testShards(); n > 1 {
 		r.net.SetObserver(collapseShards{r.stats})
 		svc, err := shard.NewService(shard.ServiceConfig{

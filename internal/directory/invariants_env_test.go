@@ -1,0 +1,34 @@
+package directory_test
+
+import (
+	"os"
+	"testing"
+
+	"flecc/internal/directory"
+)
+
+// invariantsEnabled reports whether FLECC_TEST_INVARIANTS=1 asked the
+// suite to run the directory's invariant self-checks after every test.
+// CI sets it; locally it is opt-in because the checks walk the whole
+// store under a lock.
+func invariantsEnabled() bool {
+	return os.Getenv("FLECC_TEST_INVARIANTS") == "1"
+}
+
+// assertInvariantsAtCleanup registers a test cleanup that runs the
+// manager's CheckInvariants when the env gate is on. Tests that already
+// failed are left alone so the original failure stays the headline.
+func assertInvariantsAtCleanup(t *testing.T, dm *directory.Manager) {
+	t.Helper()
+	if !invariantsEnabled() {
+		return
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			return
+		}
+		if err := dm.CheckInvariants(); err != nil {
+			t.Errorf("FLECC_TEST_INVARIANTS: post-test invariant check failed: %v", err)
+		}
+	})
+}

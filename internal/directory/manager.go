@@ -65,6 +65,13 @@ type Options struct {
 	// harness depends on (and what the paper describes). With FanOut > 1 a
 	// slow or dying view costs its own retry budget, not everyone else's.
 	FanOut int
+	// InvalFilter, if non-nil, rewrites the invalidation target set of
+	// each pull before the round runs (receiving the requesting view and
+	// the computed targets). Production deployments leave it nil; it
+	// exists for protocol verification — the model checker's mutation
+	// self-test seeds a skipped-invalidation bug through it and proves
+	// the checker renders the resulting violation.
+	InvalFilter func(requester string, targets []string) []string
 }
 
 // DefaultFanOut is the fan-out bound applied when Options.FanOut is 0.
@@ -380,6 +387,9 @@ func (m *Manager) handlePull(req *wire.Message) *wire.Message {
 		if invalidate {
 			inval = append(inval, other)
 		}
+	}
+	if m.opts.InvalFilter != nil {
+		inval = m.opts.InvalFilter(view, inval)
 	}
 	// Every TInvalidate in the round shares one pre-encoded body; only the
 	// per-link header (Seq/From/View) differs per target.
@@ -764,6 +774,42 @@ func (m *Manager) CompactLog() int {
 		min = m.store.Current()
 	}
 	return m.store.CompactLog(min)
+}
+
+// CheckInvariants verifies the manager's cross-structure bookkeeping —
+// the registry, the per-view protocol state, and the store — and returns
+// the first violation found (nil when consistent). The model checker runs
+// it after every explored transition; existing tests assert it behind
+// FLECC_TEST_INVARIANTS=1. Checked, beyond Store.CheckInvariants:
+//
+//   - every registered view has a viewState and vice versa;
+//   - no view's seen version exceeds the primary's committed version;
+//   - lost (evicted) views are never active.
+func (m *Manager) CheckInvariants() error {
+	cur := m.store.Current()
+	reg := map[string]bool{}
+	for _, name := range m.reg.Views() {
+		reg[name] = true
+		if m.reg.Lost(name) && m.reg.Active(name) {
+			return fmt.Errorf("directory %s: lost view %q is active", m.name, name)
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, vs := range m.views {
+		if !reg[name] {
+			return fmt.Errorf("directory %s: view state %q has no registry entry", m.name, name)
+		}
+		if vs.seen > cur {
+			return fmt.Errorf("directory %s: view %q saw v%d beyond committed v%d", m.name, name, vs.seen, cur)
+		}
+	}
+	for name := range reg {
+		if _, ok := m.views[name]; !ok {
+			return fmt.Errorf("directory %s: registry entry %q has no view state", m.name, name)
+		}
+	}
+	return m.store.CheckInvariants()
 }
 
 // Mode reports a view's current mode (Weak for unknown views).

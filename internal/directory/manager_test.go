@@ -21,6 +21,7 @@ func newDM(t *testing.T) (*directory.Manager, *transport.Inproc, *vclock.Sim, *k
 	if err != nil {
 		t.Fatal(err)
 	}
+	assertInvariantsAtCleanup(t, dm)
 	return dm, net, clock, prim
 }
 

@@ -415,6 +415,59 @@ func (s *Store) UnseenOps(since vclock.Version, viewer string, props property.Se
 	return total
 }
 
+// CheckInvariants verifies the store's internal bookkeeping and returns
+// the first violation found (nil when consistent). It is the exported
+// self-check the model checker (internal/modelcheck) runs after every
+// explored transition, and existing tests assert it behind
+// FLECC_TEST_INVARIANTS=1. Checked:
+//
+//   - every shadow entry's version is positive and ≤ the counter;
+//   - the update log is strictly version-ordered and bounded by the counter;
+//   - every shadow entry's current version has a live dirty-index record,
+//     and no dirty record claims a version newer than the counter;
+//   - the stale count never exceeds the index length.
+func (s *Store) CheckInvariants() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cur := s.counter.Current()
+	for k, sh := range s.shadow {
+		if sh.version == 0 {
+			return fmt.Errorf("store: shadow %q has version 0", k)
+		}
+		if sh.version > cur {
+			return fmt.Errorf("store: shadow %q at v%d exceeds counter v%d", k, sh.version, cur)
+		}
+	}
+	var prev vclock.Version
+	for i, rec := range s.log {
+		if rec.Version <= prev {
+			return fmt.Errorf("store: log[%d] v%d not strictly after v%d", i, rec.Version, prev)
+		}
+		if rec.Version > cur {
+			return fmt.Errorf("store: log[%d] v%d exceeds counter v%d", i, rec.Version, cur)
+		}
+		prev = rec.Version
+	}
+	live := map[string]vclock.Version{}
+	for i, rec := range s.dirty {
+		if rec.version > cur {
+			return fmt.Errorf("store: dirty[%d] %q at v%d exceeds counter v%d", i, rec.key, rec.version, cur)
+		}
+		if sh, ok := s.shadow[rec.key]; ok && sh.version == rec.version {
+			live[rec.key] = rec.version
+		}
+	}
+	for k, sh := range s.shadow {
+		if v, ok := live[k]; !ok || v != sh.version {
+			return fmt.Errorf("store: shadow %q at v%d has no live dirty record", k, sh.version)
+		}
+	}
+	if s.stale > len(s.dirty) {
+		return fmt.Errorf("store: stale count %d exceeds dirty index length %d", s.stale, len(s.dirty))
+	}
+	return nil
+}
+
 // Log returns a copy of the update log (for tests and tools).
 func (s *Store) Log() []UpdateRec {
 	s.mu.RLock()

@@ -1,0 +1,200 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+
+	"flecc/internal/wire"
+)
+
+// TestExploreCleanDefault: the default bounds explore clean — every
+// invariant holds over every interleaving of protocol steps and one
+// reconfiguration between two views on one key.
+func TestExploreCleanDefault(t *testing.T) {
+	res, err := Explore(DefaultConfig())
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected counterexample:\n%s", res.Violation)
+	}
+	if res.States < 100 {
+		t.Fatalf("suspiciously small state space: %d states", res.States)
+	}
+	if res.DedupHits == 0 {
+		t.Fatalf("no deduplicated transitions — fingerprinting is not collapsing revisits")
+	}
+	if res.Aborted {
+		t.Fatalf("aborted without a MaxStates bound")
+	}
+	t.Logf("%d states, %d transitions, %d dedup hits, depth %d, %v",
+		res.States, res.Transitions, res.DedupHits, res.Depth, res.Elapsed)
+}
+
+// TestExploreCleanNoMigration: the single-directory deployment (no routing
+// forwarder) explores clean too.
+func TestExploreCleanNoMigration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Migrate = false
+	cfg.Depth = 5
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected counterexample:\n%s", res.Violation)
+	}
+}
+
+// TestExploreCleanPropagateOnPush: the push-based update-distribution
+// variant holds the same invariants.
+func TestExploreCleanPropagateOnPush(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PropagateOnPush = true
+	cfg.Depth = 5
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected counterexample:\n%s", res.Violation)
+	}
+}
+
+// TestExploreCleanUnderDrops: dropping any single early request of every
+// replay exercises the failure semantics (failed pulls, evictions) without
+// breaking an invariant.
+func TestExploreCleanUnderDrops(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		cfg := DefaultConfig()
+		cfg.Depth = 4
+		cfg.DropMessage = n
+		res, err := Explore(cfg)
+		if err != nil {
+			t.Fatalf("explore drop=%d: %v", n, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("drop=%d: unexpected counterexample:\n%s", n, res.Violation)
+		}
+	}
+}
+
+// TestDeterministicExploration: two explorations of the same bounds visit
+// the identical state space (the whole approach rests on replay
+// determinism).
+func TestDeterministicExploration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Depth = 4
+	a, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	b, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if a.States != b.States || a.Transitions != b.Transitions || a.DedupHits != b.DedupHits || a.Depth != b.Depth {
+		t.Fatalf("exploration is not deterministic:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestMaxStatesAborts: the state bound cuts exploration short and says so.
+func TestMaxStatesAborts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxStates = 50
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if !res.Aborted {
+		t.Fatalf("expected Aborted with MaxStates=50, got %d states", res.States)
+	}
+	if res.States > 50 {
+		t.Fatalf("state bound not respected: %d > 50", res.States)
+	}
+}
+
+// TestReplayDeterminism: the same schedule replayed twice produces
+// byte-identical fingerprints — the property BFS-with-dedup is sound on.
+func TestReplayDeterminism(t *testing.T) {
+	cfg := DefaultConfig().withDefaults()
+	schedule := []Action{
+		{Kind: AWrite, View: 1, Key: 0},
+		{Kind: APull, View: 0},
+		{Kind: AMigrate},
+		{Kind: AWrite, View: 0, Key: 0},
+		{Kind: APush, View: 0},
+		{Kind: APull, View: 1},
+	}
+	sysA, bad, err := replay(cfg, schedule, nil)
+	if err != nil {
+		t.Fatalf("replay A failed at action %d: %v", bad, err)
+	}
+	sysB, bad, err := replay(cfg, schedule, nil)
+	if err != nil {
+		t.Fatalf("replay B failed at action %d: %v", bad, err)
+	}
+	fa, fb := sysA.fingerprint(), sysB.fingerprint()
+	if fa != fb {
+		t.Fatalf("replay is not deterministic:\n--- first ---\n%s\n--- second ---\n%s", fa, fb)
+	}
+}
+
+// TestActionString: the schedule rendering the counterexamples rely on.
+func TestActionString(t *testing.T) {
+	cases := map[string]Action{
+		"write(v1,k0)":       {Kind: AWrite, View: 0, Key: 0},
+		"push(v2)":           {Kind: APush, View: 1},
+		"pull(v3)":           {Kind: APull, View: 2},
+		"set-mode(v1,weak)":  {Kind: ASetMode, View: 0, Mode: wire.Weak},
+		"set-props(v2)":      {Kind: ASetProps, View: 1},
+		"crash(v1)":          {Kind: ACrash, View: 0},
+		"revive(v1)":         {Kind: ARevive, View: 0},
+		"migrate(dm!a→dm!b)": {Kind: AMigrate},
+	}
+	for want, a := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("Action%+v.String() = %q, want %q", a, got, want)
+		}
+	}
+}
+
+// TestEnumerateRespectsbudgets: no reconfiguration actions are offered
+// once the budget is spent, and no writes beyond the per-view cap.
+func TestEnumerateRespectsBudgets(t *testing.T) {
+	cfg := DefaultConfig().withDefaults()
+	m := meta{
+		views: []viewMeta{
+			{alive: true, valid: true, pending: 1, writes: cfg.WritesPerView, mode: wire.Strong},
+			{alive: true, valid: true, writes: 0, mode: wire.Weak},
+		},
+		reconfigs: cfg.Reconfigs, // budget exhausted
+	}
+	for _, a := range enumerate(cfg, m) {
+		switch a.Kind {
+		case ASetMode, ASetProps, ACrash, AMigrate:
+			t.Errorf("reconfiguration %s offered with exhausted budget", a)
+		case AWrite:
+			if a.View == 0 {
+				t.Errorf("write offered beyond the per-view cap: %s", a)
+			}
+		}
+	}
+}
+
+// TestStrings ensures Result and Counterexample render the pieces the CLI
+// and CI logs grep for.
+func TestStrings(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Depth = 2
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	s := res.String()
+	for _, want := range []string{"explored", "transitions", "deduplicated", "all invariants hold"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Result.String() missing %q:\n%s", want, s)
+		}
+	}
+}

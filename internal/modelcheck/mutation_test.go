@@ -1,0 +1,73 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMutationSkipInvalidateCaught is the checker's own soundness check: a
+// deliberately seeded protocol bug — the directory silently skips view v2
+// when invalidating (directory.Options.InvalFilter) — must produce a
+// counterexample, and the counterexample must carry a usable diagnosis: a
+// violating schedule and the replay's message flow rendered in the
+// Figure 2 sequence-diagram format.
+func TestMutationSkipInvalidateCaught(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkipInvalidate = "v2"
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	ce := res.Violation
+	if ce == nil {
+		t.Fatalf("seeded skip-invalidation bug went undetected (%d states, %d transitions)",
+			res.States, res.Transitions)
+	}
+	if len(ce.Schedule) == 0 {
+		t.Fatalf("counterexample has an empty schedule:\n%s", ce)
+	}
+	if ce.Violation == nil {
+		t.Fatalf("counterexample carries no violation:\n%s", ce)
+	}
+	// The bug leaves v2 active (or holding pending updates) across a
+	// strong pull — the violation must name the conflicting view.
+	if !strings.Contains(ce.Violation.Error(), "v2") {
+		t.Errorf("violation does not name the skipped view: %v", ce.Violation)
+	}
+	// The Figure-2 diagram must show the actual message flow of the
+	// violating replay: the strong puller's pull reaching the directory,
+	// and no invalidate ever reaching v2.
+	if ce.Diagram == "" {
+		t.Fatalf("counterexample has no message-flow diagram:\n%s", ce)
+	}
+	if !strings.Contains(ce.Diagram, "pull") {
+		t.Errorf("diagram misses the pull that should have invalidated:\n%s", ce.Diagram)
+	}
+	for _, line := range strings.Split(ce.Diagram, "\n") {
+		if strings.Contains(line, "invalidate") && strings.Contains(line, "> v2") {
+			t.Errorf("mutated directory still invalidated v2: %s", line)
+		}
+	}
+	// The rendered form ties it together for humans and CI logs.
+	out := ce.String()
+	for _, want := range []string{"counterexample", "violated:", "message flow (Figure 2 format):"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered counterexample missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMutationOtherViewAlsoCaught: skipping the strong view itself (v1)
+// must be caught as well — a weak pull's gather round that skips the
+// strong holder breaks exclusivity from the other side.
+func TestMutationOtherViewAlsoCaught(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkipInvalidate = "v1"
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("seeded skip-invalidation of v1 went undetected (%d states)", res.States)
+	}
+}

@@ -197,6 +197,7 @@ type Net struct {
 	mu          sync.Mutex
 	partitioned map[[2]string]bool // host pair (ordered) -> cut
 	dropped     int64
+	hook        func(from, to string, m *wire.Message) error
 }
 
 // New builds a simulated network over the given clock and topology.
@@ -223,13 +224,36 @@ func New(clock *vclock.Sim, topo *Topology) *Net {
 		if cut {
 			n.dropped++
 		}
+		hook := n.hook
 		n.mu.Unlock()
 		if cut {
 			return fmt.Errorf("netsim: partition between %q and %q", ha, hb)
 		}
+		if hook != nil {
+			if err := hook(from, to, m); err != nil {
+				n.mu.Lock()
+				n.dropped++
+				n.mu.Unlock()
+				return err
+			}
+		}
 		return nil
 	})
 	return n
+}
+
+// SetDeliveryHook installs a schedule-controlled delivery gate: fn runs
+// before every request delivery (after the partition check), and a non-nil
+// error fails the send at the caller as a dead link would. Deterministic
+// drivers — the model checker, fault schedules, replay tests — use it to
+// decide per message whether delivery happens, without the randomness of
+// transport.Faulty. Refused messages count toward Dropped. A nil fn
+// removes the hook. Safe to call between deliveries; not concurrently with
+// traffic it must gate.
+func (n *Net) SetDeliveryHook(fn func(from, to string, m *wire.Message) error) {
+	n.mu.Lock()
+	n.hook = fn
+	n.mu.Unlock()
 }
 
 func hostPair(a, b string) [2]string {
