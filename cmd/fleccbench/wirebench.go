@@ -10,10 +10,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"flecc/internal/image"
 	"flecc/internal/property"
@@ -211,7 +213,82 @@ func runWireBenchmarks() []wireBenchResult {
 		"writes_per_frame": float64(writes) / float64(frames),
 	}, res)
 
+	// Pipeline window sweep (E15): one CM↔DM TCP loopback link, W
+	// concurrent Seq-correlated requests in flight. The headline series is
+	// ops/sec per window; window 64 should approach wire saturation (many
+	// times the window-1 series, which pays a full RTT per op).
+	for _, window := range []int{1, 8, 64} {
+		r, err := runPipelineWindow(window)
+		if err != nil {
+			// Loopback TCP is unavailable (sandboxed run): report the row
+			// with the error rather than aborting the whole experiment.
+			fmt.Fprintf(os.Stderr, "fleccbench: pipeline_window/w%d skipped: %v\n", window, err)
+			continue
+		}
+		opsPerSec := 0.0
+		if r.NsPerOp > 0 {
+			opsPerSec = 1e9 / r.NsPerOp
+		}
+		r.Extra = map[string]float64{"ops_per_sec": opsPerSec}
+		out = append(out, r)
+	}
+
 	return out
+}
+
+// runPipelineWindow measures single-connection throughput on a loopback
+// TCP link at one in-flight window: a pipelined issuer keeps the window
+// full with CallAsync while a collector retires completions in order.
+func runPipelineWindow(window int) (wireBenchResult, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return wireBenchResult{}, err
+	}
+	srv := transport.Serve(ln, "dm", func(req *wire.Message) *wire.Message {
+		return &wire.Message{Type: wire.TAck, Version: req.Since}
+	}, 30*time.Second)
+	defer srv.Close()
+	c, err := transport.Dial(ln.Addr().String(), "cm1", func(req *wire.Message) *wire.Message {
+		return &wire.Message{Type: wire.TErr, Err: "bench client serves no requests"}
+	}, 30*time.Second)
+	if err != nil {
+		return wireBenchResult{}, err
+	}
+	defer c.Close()
+	c.SetWindow(window)
+
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		calls := make(chan *transport.Call, 2*window)
+		done := make(chan error, 1)
+		go func() {
+			var first error
+			for call := range calls {
+				if _, err := call.Wait(); err != nil && first == nil {
+					first = err
+				}
+			}
+			done <- first
+		}()
+		for i := 0; i < b.N; i++ {
+			calls <- c.CallAsync("dm", &wire.Message{Type: wire.TPush, Since: vclock.Version(i)})
+		}
+		close(calls)
+		if err := <-done; err != nil {
+			benchErr = err
+		}
+	})
+	if benchErr != nil {
+		return wireBenchResult{}, benchErr
+	}
+	return wireBenchResult{
+		Name:        fmt.Sprintf("pipeline_window/w%d", window),
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
 }
 
 // runWire executes the wire benchmark set; with jsonOut non-empty the

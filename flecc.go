@@ -83,6 +83,9 @@ type (
 	Relation = registry.Relation
 	// TriggerEnv supplies view variables to quality triggers.
 	TriggerEnv = trigger.Env
+	// PushFuture is the completion handle of one asynchronous push round
+	// (see View.PushAsync).
+	PushFuture = cache.PushFuture
 )
 
 // Consistency modes.
@@ -109,6 +112,9 @@ var (
 	ErrInvalidated = cache.ErrInvalidated
 	// ErrNotInitialized: the image was used before Init.
 	ErrNotInitialized = cache.ErrNotInitialized
+	// ErrSessionReset: the session under an asynchronous push died (the
+	// future's writes stay pending locally; push again after recovery).
+	ErrSessionReset = cache.ErrSessionReset
 )
 
 // MustProps parses a property-set literal like "Flights={100..109};
@@ -286,6 +292,11 @@ type ViewConfig struct {
 	// ReadOnly tags the view's pulls as read operations (used with
 	// WithReadAware).
 	ReadOnly bool
+	// ManualFlush defers asynchronous push rounds (PushAsync) until Flush
+	// or a draining synchronous operation. Deterministic harnesses use it
+	// to keep every wire interaction an explicit step; interactive
+	// deployments normally leave it false (rounds dispatch immediately).
+	ManualFlush bool
 }
 
 // View is a deployed view: the public handle over its cache manager.
@@ -318,6 +329,7 @@ func (s *System) NewView(cfg ViewConfig) (*View, error) {
 		Vars:            cfg.Vars,
 		Clock:           s.clock,
 		Op:              op,
+		ManualFlush:     cfg.ManualFlush,
 	})
 	if err != nil {
 		return nil, err
@@ -337,6 +349,24 @@ func (v *View) Pull() error { return v.cm.PullImage() }
 
 // Push sends the view's modified data to the primary (pushImage).
 func (v *View) Push() error { return v.cm.PushImage() }
+
+// PushAsync starts (or joins) an asynchronous push round and returns its
+// future. Adjacent calls coalesce: while one round is on the wire the next
+// buffers behind it, and every caller that joined the buffered round
+// shares one future — W rapid writers cost two push rounds, not W. Rounds
+// complete in issue order. If the session dies under a round, its future
+// resolves with ErrSessionReset and the writes stay pending locally (push
+// again after recovery). Synchronous operations (Push, SetMode, SetProps,
+// Close) drain outstanding rounds before proceeding.
+func (v *View) PushAsync() *PushFuture { return v.cm.PushImageAsync() }
+
+// Flush dispatches any buffered push round and waits for all outstanding
+// rounds, returning the first error.
+func (v *View) Flush() error { return v.cm.Flush() }
+
+// PushPending reports whether an asynchronous push round is buffered or in
+// flight.
+func (v *View) PushPending() bool { return v.cm.PushPending() }
 
 // StartUse opens a mutually exclusive work window (startUseImage).
 func (v *View) StartUse() error { return v.cm.StartUse() }

@@ -1,0 +1,88 @@
+package flecc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"flecc"
+)
+
+// The public async session API: PushAsync coalesces adjacent writes into
+// one round, Flush drains, and the synchronized state reaches the primary.
+func TestViewPushAsyncCoalesces(t *testing.T) {
+	sys, db := newSystem(t, flecc.WithMessageStats())
+	replica := flecc.NewMapCodec()
+	v, err := sys.NewView(flecc.ViewConfig{
+		Name:        "r1",
+		View:        replica,
+		Props:       flecc.MustProps("P={x}"),
+		Mode:        flecc.Weak,
+		ManualFlush: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5
+	var fut *flecc.PushFuture
+	for i := 0; i < n; i++ {
+		if err := v.StartUse(); err != nil {
+			t.Fatal(err)
+		}
+		replica.SetString(fmt.Sprintf("k%d", i), fmt.Sprintf("val%d", i))
+		v.EndUse()
+		f := v.PushAsync()
+		if fut != nil && f != fut {
+			t.Fatalf("write %d started a new round; adjacent pushes must coalesce", i)
+		}
+		fut = f
+	}
+	if !v.PushPending() {
+		t.Fatal("a round should be pending before Flush")
+	}
+	before := sys.Messages()
+	if err := v.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if v.PushPending() {
+		t.Fatal("no round should remain after Flush")
+	}
+	// One coalesced round = one request/reply pair on the wire.
+	if got := sys.Messages() - before; got != 2 {
+		t.Fatalf("%d writes cost %d messages, want 2 (one TPush round)", n, got)
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if got, want := db.GetString(k), fmt.Sprintf("val%d", i); got != want {
+			t.Fatalf("primary %s = %q, want %q", k, got, want)
+		}
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Close (killImage) must drain a buffered async round and deliver its
+// writes before unregistering.
+func TestViewCloseDrainsAsyncPushes(t *testing.T) {
+	sys, db := newSystem(t)
+	v, replica := newView(t, sys, "r1", "P={x}", flecc.Weak)
+	if err := v.StartUse(); err != nil {
+		t.Fatal(err)
+	}
+	replica.SetString("parting", "gift")
+	v.EndUse()
+	fut := v.PushAsync()
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fut.Wait(); err != nil {
+		t.Fatalf("future after draining close: %v", err)
+	}
+	if got := db.GetString("parting"); got != "gift" {
+		t.Fatalf("primary parting = %q, want %q", got, "gift")
+	}
+}

@@ -75,6 +75,16 @@ type Config struct {
 	// Nil keeps the historical behavior: transport errors surface to the
 	// caller.
 	Reconnect *ReconnectPolicy
+	// Window, if > 0, bounds the in-flight pipelined requests on the
+	// CM↔DM link (transport.WindowSetter); it is re-applied to every
+	// endpoint a reconnect cycle dials. 0 leaves the link unbounded.
+	Window int
+	// ManualFlush disables the automatic dispatch of asynchronous push
+	// rounds: PushImageAsync only buffers, and rounds go out when Flush
+	// (or a draining synchronous operation) is called. Deterministic
+	// harnesses — the model checker, seeded soaks — use it to keep every
+	// wire interaction an explicit, schedulable step.
+	ManualFlush bool
 }
 
 // Manager is the view-side protocol endpoint.
@@ -108,10 +118,21 @@ type Manager struct {
 	// lastPull/lastPush are virtual times for the sincePull/sincePush
 	// trigger variables.
 	lastPull, lastPush vclock.Time
-	// invalidations counts how many times the DM stopped this view.
+	// invalidations counts how many times the DM stopped this view. It
+	// doubles as the validity epoch: pull paths capture it before going to
+	// the wire and only mark the image valid if no invalidate interleaved.
 	invalidations int
 	// cancelTick stops the trigger scheduler.
 	cancelTick func()
+
+	// Asynchronous push session (session.go): at most one round in flight,
+	// at most one buffered behind it, a generation counter to retire
+	// straggling completions after a session reset.
+	inflight    *pushRound
+	buffer      *pushRound
+	sessGen     uint64
+	manualFlush bool
+	window      int
 }
 
 // New creates the cache manager, attaches it to the network, and registers
@@ -144,10 +165,12 @@ func New(cfg Config) (*Manager, error) {
 			Pull:     cfg.PullTrigger,
 			Validity: cfg.ValidityTrigger,
 		},
-		pushTr: pushTr,
-		pullTr: pullTr,
-		props:  cfg.Props.Clone(),
-		mode:   cfg.Mode,
+		pushTr:      pushTr,
+		pullTr:      pullTr,
+		props:       cfg.Props.Clone(),
+		mode:        cfg.Mode,
+		manualFlush: cfg.ManualFlush,
+		window:      cfg.Window,
 	}
 	if cfg.Reconnect != nil {
 		m.recon = newReconnector(cfg.Name, *cfg.Reconnect)
@@ -158,11 +181,23 @@ func New(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("cache: attach %q: %w", cfg.Name, err)
 	}
 	m.ep = ep
+	m.applyWindow(ep)
 	if _, err := ep.Call(cfg.Directory, m.registerMsg()); err != nil {
 		ep.Close()
 		return nil, fmt.Errorf("cache: register %q: %w", cfg.Name, err)
 	}
 	return m, nil
+}
+
+// applyWindow applies the configured pipelining window to a freshly
+// attached endpoint, when the transport supports it.
+func (m *Manager) applyWindow(ep transport.Endpoint) {
+	if m.window <= 0 {
+		return
+	}
+	if ws, ok := ep.(transport.WindowSetter); ok {
+		ws.SetWindow(m.window)
+	}
 }
 
 // Name returns the view's node name.
@@ -209,6 +244,9 @@ func (m *Manager) Invalidations() int {
 
 // InitImage fetches the view's initial data (Figure 2, steps 3–5).
 func (m *Manager) InitImage() error {
+	m.mu.Lock()
+	epoch := m.invalidations
+	m.mu.Unlock()
 	reply, err := m.call(&wire.Message{Type: wire.TInit})
 	if err != nil {
 		return err
@@ -219,7 +257,13 @@ func (m *Manager) InitImage() error {
 		return err
 	}
 	m.initialized = true
-	m.valid = true
+	// Validity epoch guard: if the DM invalidated this view while the init
+	// reply was on the wire, the image we just merged is already stale —
+	// claiming validity now would let StartUse run on data the DM believes
+	// this view stopped using.
+	if m.invalidations == epoch {
+		m.valid = true
+	}
 	m.lastPull = m.clock.Now()
 	return nil
 }
@@ -235,6 +279,7 @@ func (m *Manager) PullImage() error {
 		return ErrNotInitialized
 	}
 	since := m.seen
+	epoch := m.invalidations
 	m.mu.Unlock()
 
 	reply, err := m.call(&wire.Message{Type: wire.TPull, Since: since, Op: m.op})
@@ -246,7 +291,12 @@ func (m *Manager) PullImage() error {
 	if err := m.applyIncomingLocked(reply.Img, reply.Version); err != nil {
 		return err
 	}
-	m.valid = true
+	// Validity epoch guard: an invalidate that interleaved with the pull
+	// reply supersedes it — the merged data is kept (it is still the newest
+	// we have) but the view must pull again before StartUse.
+	if m.invalidations == epoch {
+		m.valid = true
+	}
 	m.lastPull = m.clock.Now()
 	return nil
 }
@@ -255,8 +305,10 @@ func (m *Manager) PullImage() error {
 // extracts the current view state, diffs it against the last synchronized
 // snapshot, and sends only the changed entries (stamped with the version
 // they were based on, for conflict detection at the primary). A clean view
-// sends nothing.
+// sends nothing. Any asynchronous rounds are drained first, so the
+// synchronous push observes a quiet session.
 func (m *Manager) PushImage() error {
+	m.drainPushes()
 	m.mu.Lock()
 	if !m.initialized {
 		m.mu.Unlock()
@@ -281,37 +333,7 @@ func (m *Manager) PushImage() error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	// Fold only the pushed keys into the base snapshot. The manager was
-	// unlocked during the call, so a propagated update or a reconnect
-	// re-pull may have merged fresh remote entries meanwhile; wholesale
-	// replacing base with the pre-call extract would regress those keys,
-	// leaving the view looking dirty with stale data that a later push
-	// would echo over newer commits.
-	for k, e := range delta.Entries {
-		if ce, ok := cur.Get(k); ok {
-			m.base.Put(ce.Clone())
-		} else if e.Deleted {
-			m.base.Put(image.Entry{Key: k, Version: reply.Version, Writer: m.name, Deleted: true})
-		}
-	}
-	m.pendingOps = 0
-	m.lastPush = m.clock.Now()
-	// Note: seen does NOT advance here. The push ack's version covers only
-	// this view's own commit; updates other writers committed since the
-	// last pull remain unobserved, and advancing seen past them would make
-	// later delta pulls skip them forever.
-	//
-	// If the directory's resolver rejected some of our entries, the ack
-	// carries the winning values; adopt them so the view converges on the
-	// resolved state instead of silently keeping the losing data.
-	if reply.Img != nil && reply.Img.Len() > 0 {
-		winners := reply.Img.Clone()
-		winners.Version = 0 // do not advance seen (see above)
-		if err := m.applyIncomingLocked(winners, 0); err != nil {
-			return err
-		}
-	}
-	return nil
+	return m.finishPushLocked(delta, cur, reply, ops)
 }
 
 // StartUse marks the beginning of a mutually exclusive work window on the
@@ -365,7 +387,10 @@ func (m *Manager) Release() error {
 }
 
 // SetMode switches the view between strong and weak operation at run time.
+// Outstanding asynchronous pushes drain first: a mode switch takes effect
+// on a quiet session, never between a round's dispatch and its ack.
 func (m *Manager) SetMode(mode wire.Mode) error {
+	m.drainPushes()
 	if _, err := m.call(&wire.Message{Type: wire.TSetMode, Mode: mode}); err != nil {
 		return err
 	}
@@ -375,8 +400,10 @@ func (m *Manager) SetMode(mode wire.Mode) error {
 	return nil
 }
 
-// SetProps installs a new dynamic property set for the view.
+// SetProps installs a new dynamic property set for the view. Like
+// SetMode, it drains outstanding asynchronous pushes first.
 func (m *Manager) SetProps(props property.Set) error {
+	m.drainPushes()
 	if _, err := m.call(&wire.Message{Type: wire.TSetProps, Props: props}); err != nil {
 		return err
 	}
@@ -390,6 +417,7 @@ func (m *Manager) SetProps(props property.Set) error {
 // from the network (Figure 2, steps 20–21).
 func (m *Manager) KillImage() error {
 	m.StopTriggers()
+	m.drainPushes()
 	m.mu.Lock()
 	dirty := m.initialized && m.valid && m.pendingOps > 0
 	m.killed = true

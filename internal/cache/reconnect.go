@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -141,6 +142,13 @@ func (m *Manager) redial(old transport.Endpoint, attempt int) error {
 	}
 	m.mu.Lock()
 	killed := m.killed
+	if !killed {
+		// The session the in-flight async rounds were issued on is dead:
+		// resolve their futures with ErrSessionReset before tearing the
+		// endpoint down, so no caller is left waiting on a connection that
+		// is about to be replaced. Their writes stay pending locally.
+		m.failSessionLocked(errors.New("endpoint replaced by reconnect"))
+	}
 	m.mu.Unlock()
 	if killed {
 		return transport.ErrClosed
@@ -168,6 +176,7 @@ func (m *Manager) redial(old transport.Endpoint, attempt int) error {
 	m.mu.Lock()
 	initialized := m.initialized
 	since := m.seen
+	epoch := m.invalidations
 	m.mu.Unlock()
 	if initialized {
 		reply, err := ep.Call(m.dir, &wire.Message{Type: wire.TPull, Since: since, Op: m.op})
@@ -181,7 +190,12 @@ func (m *Manager) redial(old transport.Endpoint, attempt int) error {
 		m.mu.Lock()
 		aerr := m.applyIncomingLocked(reply.Img, reply.Version)
 		if aerr == nil {
-			m.valid = true
+			// Validity epoch guard: an invalidate that raced the re-pull
+			// (the fresh registration makes this view a target again)
+			// supersedes the pulled data's validity claim.
+			if m.invalidations == epoch {
+				m.valid = true
+			}
 			m.lastPull = m.clock.Now()
 		}
 		m.mu.Unlock()
@@ -190,6 +204,7 @@ func (m *Manager) redial(old transport.Endpoint, attempt int) error {
 			return aerr
 		}
 	}
+	m.applyWindow(ep)
 	m.setEndpoint(ep)
 	return nil
 }

@@ -63,6 +63,13 @@
 // contract the paper's usage loop (pull before every use) relies on.
 // Crashed views lose their un-pushed writes by design; only acknowledged
 // commits are covered by the durability invariants.
+//
+// With Config.Pipeline the asynchronous client session is part of the
+// model: push-async buffers a coalesced round without touching the wire
+// (views run under cache.Config.ManualFlush) and flush dispatches it, so
+// a buffered round interleaves with every reconfiguration — mode
+// switches, crashes, migration — and the window-drain rule (synchronous
+// operations dispatch the buffer first) is checked on the real code path.
 package modelcheck
 
 import (
@@ -114,6 +121,14 @@ type Config struct {
 	// Quiesce enables the weak-convergence probe at every newly
 	// discovered state.
 	Quiesce bool
+	// Pipeline enables the asynchronous client-session actions: push-async
+	// (buffer a coalesced push round without touching the wire) and flush
+	// (dispatch it and wait). Views run under cache.Config.ManualFlush so
+	// the explorer — not a background goroutine — decides when the round
+	// reaches the directory, keeping actions atomic and replays
+	// deterministic while still interleaving a buffered round with every
+	// reconfiguration.
+	Pipeline bool
 	// MaxStates aborts exploration after this many distinct states
 	// (0 = unlimited). The explorer reports the abort in Result.Aborted.
 	MaxStates int
@@ -145,6 +160,7 @@ func DefaultConfig() Config {
 		SetModes:      true,
 		SetProps:      true,
 		Quiesce:       true,
+		Pipeline:      true,
 	}
 }
 
@@ -191,6 +207,14 @@ const (
 	// AQuiesceProbe marks probe-injected pushes/pulls in counterexample
 	// schedules; the explorer never enumerates it directly.
 	AQuiesceProbe
+	// APushAsync buffers an asynchronous push round (PushImageAsync under
+	// ManualFlush): nothing reaches the wire until AFlush, a synchronous
+	// push, or another draining operation dispatches it.
+	APushAsync
+	// AFlush dispatches the buffered asynchronous round and waits for it
+	// (Flush), exercising the pipelined-session ordering and window-drain
+	// rules against every invariant.
+	AFlush
 )
 
 // Action is one atomic transition of the model: a protocol step or a
@@ -228,6 +252,10 @@ func (a Action) String() string {
 		return "migrate(dm!a→dm!b)"
 	case AQuiesceProbe:
 		return fmt.Sprintf("quiesce-probe(%s)", v)
+	case APushAsync:
+		return fmt.Sprintf("push-async(%s)", v)
+	case AFlush:
+		return fmt.Sprintf("flush(%s)", v)
 	default:
 		return fmt.Sprintf("action(%d)", a.Kind)
 	}

@@ -151,11 +151,95 @@ func TestActionString(t *testing.T) {
 		"crash(v1)":          {Kind: ACrash, View: 0},
 		"revive(v1)":         {Kind: ARevive, View: 0},
 		"migrate(dm!a→dm!b)": {Kind: AMigrate},
+		"push-async(v1)":     {Kind: APushAsync, View: 0},
+		"flush(v2)":          {Kind: AFlush, View: 1},
 	}
 	for want, a := range cases {
 		if got := a.String(); got != want {
 			t.Errorf("Action%+v.String() = %q, want %q", a, got, want)
 		}
+	}
+}
+
+// TestPipelineExpandsStateSpace: enabling the pipelined-session actions
+// genuinely grows the explored space (push-async/flush schedules are
+// enumerated, and a buffered round is a distinct fingerprinted state),
+// and the space stays clean.
+func TestPipelineExpandsStateSpace(t *testing.T) {
+	off := DefaultConfig()
+	off.Pipeline = false
+	off.Depth = 5
+	on := off
+	on.Pipeline = true
+	roff, err := Explore(off)
+	if err != nil {
+		t.Fatalf("explore pipeline=off: %v", err)
+	}
+	ron, err := Explore(on)
+	if err != nil {
+		t.Fatalf("explore pipeline=on: %v", err)
+	}
+	if roff.Violation != nil || ron.Violation != nil {
+		t.Fatalf("unexpected counterexample:\noff: %v\non: %v", roff.Violation, ron.Violation)
+	}
+	if ron.States <= roff.States {
+		t.Fatalf("pipeline actions added no states: on=%d off=%d", ron.States, roff.States)
+	}
+	t.Logf("pipeline off: %d states; on: %d states", roff.States, ron.States)
+}
+
+// TestPipelinedReplay: a buffered round is visible in the fingerprint
+// (so BFS does not collapse it into the un-buffered state), survives a
+// reconfiguration that does not drain it, and flush clears it — all on a
+// deterministic replay.
+func TestPipelinedReplay(t *testing.T) {
+	cfg := DefaultConfig().withDefaults()
+	buffered := []Action{
+		{Kind: AWrite, View: 1, Key: 0},
+		{Kind: APushAsync, View: 1},
+		{Kind: ACrash, View: 0}, // reconfigure around the buffered round
+	}
+	sys, bad, err := replay(cfg, buffered, nil)
+	if err != nil {
+		t.Fatalf("replay failed at action %d: %v", bad, err)
+	}
+	fp := sys.fingerprint()
+	if !strings.Contains(fp, "buffered=true") {
+		t.Fatalf("buffered round invisible to the fingerprint:\n%s", fp)
+	}
+	flushed := append(buffered, Action{Kind: AFlush, View: 1})
+	sys2, bad, err := replay(cfg, flushed, nil)
+	if err != nil {
+		t.Fatalf("flush replay failed at action %d: %v", bad, err)
+	}
+	if fp2 := sys2.fingerprint(); strings.Contains(fp2, "buffered=true") {
+		t.Fatalf("flush left a buffered round behind:\n%s", fp2)
+	}
+	// Determinism across replays of the pipelined schedule.
+	sys3, _, err := replay(cfg, flushed, nil)
+	if err != nil {
+		t.Fatalf("second flush replay: %v", err)
+	}
+	if sys2.fingerprint() != sys3.fingerprint() {
+		t.Fatal("pipelined replay is not deterministic")
+	}
+}
+
+// TestMutationCaughtWithPipeline pins the acceptance pairing explicitly:
+// the seeded skip-invalidation mutant must still die while the
+// pipelined-session actions are part of the explored space.
+func TestMutationCaughtWithPipeline(t *testing.T) {
+	cfg := DefaultConfig()
+	if !cfg.Pipeline {
+		t.Fatal("default bounds must include the pipelined-session actions")
+	}
+	cfg.SkipInvalidate = "v2"
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("seeded skip-invalidation bug went undetected with pipeline enabled (%d states)", res.States)
 	}
 }
 

@@ -1,6 +1,7 @@
 package modelcheck
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -312,7 +313,10 @@ func newSystem(cfg Config, rec *trace.Recorder) (*system, error) {
 }
 
 // attachView builds a cache manager for the view's current mode and
-// property set (initial construction and revive share it).
+// property set (initial construction and revive share it). Under
+// Config.Pipeline the manager runs with ManualFlush so buffered async
+// rounds dispatch only when an explicit action (flush, or a draining
+// synchronous operation) says so — the explorer stays the sole scheduler.
 func (s *system) attachView(v *viewNode) (*cache.Manager, error) {
 	return cache.New(cache.Config{
 		Name:            v.name,
@@ -323,6 +327,7 @@ func (s *system) attachView(v *viewNode) (*cache.Manager, error) {
 		Mode:            v.mode,
 		ValidityTrigger: s.cfg.Validity,
 		Clock:           s.clock,
+		ManualFlush:     s.cfg.Pipeline,
 	})
 }
 
@@ -336,6 +341,7 @@ func (s *system) opLegal(err error) bool {
 		return false
 	}
 	return transport.IsTransportError(err) ||
+		errors.Is(err, cache.ErrSessionReset) ||
 		strings.Contains(err.Error(), "modelcheck: scheduled drop")
 }
 
@@ -370,6 +376,42 @@ func (s *system) apply(a Action) error {
 		err := v.cm.PushImage()
 		if err != nil && !s.opLegal(err) {
 			return violationf("push %s failed: %v", v.name, err)
+		}
+		if err == nil {
+			v.dirty = map[string]bool{}
+			if verr := s.checkPushDurable(v, pushed); verr != nil {
+				return verr
+			}
+		}
+		return s.verify(a, err)
+
+	case APushAsync:
+		// Buffer a coalesced round. Under ManualFlush nothing reaches the
+		// wire here, so the only legal immediate resolution is an error —
+		// and on a live, initialized view there is none to have.
+		v := s.views[a.View]
+		fut := v.cm.PushImageAsync()
+		select {
+		case <-fut.Done():
+			if err := fut.Wait(); err != nil {
+				return violationf("push-async %s resolved eagerly with %v", v.name, err)
+			}
+		default:
+		}
+		return s.verify(a, nil)
+
+	case AFlush:
+		// Dispatch the buffered round and wait it out. Success carries the
+		// same obligations as a synchronous push: the delta is extracted at
+		// dispatch, so it covers every key dirty right now.
+		v := s.views[a.View]
+		pushed := map[string]string{}
+		for k := range v.dirty {
+			pushed[k] = v.data.data[k]
+		}
+		err := v.cm.Flush()
+		if err != nil && !s.opLegal(err) {
+			return violationf("flush %s failed: %v", v.name, err)
 		}
 		if err == nil {
 			v.dirty = map[string]bool{}
@@ -515,6 +557,9 @@ type viewMeta struct {
 	writes   int
 	propsAlt bool
 	mode     wire.Mode
+	// buffered marks an asynchronous push round waiting for dispatch
+	// (Config.Pipeline).
+	buffered bool
 }
 
 // meta captures the enabled-action inputs of a state.
@@ -531,6 +576,7 @@ func (s *system) observe() meta {
 		if v.alive {
 			vm.valid = v.cm.Valid()
 			vm.pending = v.cm.PendingOps()
+			vm.buffered = v.cm.PushPending()
 		}
 		m.views = append(m.views, vm)
 	}
@@ -572,8 +618,8 @@ func (s *system) fingerprint() string {
 		if !v.alive {
 			continue
 		}
-		fmt.Fprintf(&b, " cm valid=%t pending=%d seen=%d mode=%s\n",
-			v.cm.Valid(), v.cm.PendingOps(), v.cm.Seen(), v.cm.Mode())
+		fmt.Fprintf(&b, " cm valid=%t pending=%d seen=%d mode=%s buffered=%t\n",
+			v.cm.Valid(), v.cm.PendingOps(), v.cm.Seen(), v.cm.Mode(), v.cm.PushPending())
 		keys := make([]string, 0, len(v.data.data))
 		for k := range v.data.data {
 			keys = append(keys, k)

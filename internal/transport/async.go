@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"flecc/internal/wire"
+)
+
+// Call is one pipelined request in flight on a peer connection: the
+// future half of a Seq-correlated request/reply pair. A Call resolves
+// exactly once — when the matching reply arrives, when the caller
+// abandons it (timeout), or when the peer shuts down — and every
+// resolution path routes through the peer's pending map under its mutex,
+// so a reply racing a timeout is never delivered twice and a reply
+// arriving after abandonment is counted and dropped by the read loop.
+type Call struct {
+	p   *peer // nil for calls resolved at construction
+	seq uint64
+
+	// done is closed at resolution; reply/err are written before the
+	// close and must only be read after it.
+	done  chan struct{}
+	reply *wire.Message
+	err   error
+}
+
+// resolvedCall builds an already-resolved Call (immediate failures, and
+// synchronous transports whose delivery completes before CallAsync
+// returns).
+func resolvedCall(reply *wire.Message, err error) *Call {
+	c := &Call{done: make(chan struct{}), reply: reply, err: err}
+	close(c.done)
+	return c
+}
+
+// Done returns a channel closed when the call has resolved.
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Wait blocks until the call resolves and returns its reply. Like
+// Endpoint.Call, a TErr reply comes back as the reply plus a
+// wire.RemoteError.
+func (c *Call) Wait() (*wire.Message, error) { return c.wait(0) }
+
+// WaitTimeout is Wait bounded by d (0 = no bound). On timeout the call
+// is abandoned: its window slot is released and a reply arriving later
+// is dropped by the read loop as unmatched.
+func (c *Call) WaitTimeout(d time.Duration) (*wire.Message, error) { return c.wait(d) }
+
+func (c *Call) wait(timeout time.Duration) (*wire.Message, error) {
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case <-c.done:
+		case <-t.C:
+			// Resolve-or-lose: if the reply won the race, finish is a
+			// no-op and the real reply below is returned.
+			if c.p != nil {
+				c.p.finish(c, nil, fmt.Errorf("transport: call to peer timed out after %v", timeout))
+			}
+			<-c.done
+		}
+	} else {
+		<-c.done
+	}
+	if c.err != nil {
+		return c.reply, c.err
+	}
+	if err := wire.ErrorOf(c.reply); err != nil {
+		return c.reply, err
+	}
+	return c.reply, nil
+}
+
+// AsyncCaller is implemented by endpoints that support windowed
+// pipelining: CallAsync issues a request without waiting for its reply,
+// so one connection carries many concurrent requests. On synchronous
+// transports (Inproc, netsim) the returned Call is already resolved —
+// code written against the async API runs there deterministically, it
+// just does not overlap requests.
+type AsyncCaller interface {
+	CallAsync(to string, req *wire.Message) *Call
+}
+
+// WindowSetter is implemented by endpoints whose in-flight request
+// window can be bounded.
+type WindowSetter interface {
+	// SetWindow bounds the number of unresolved outbound requests
+	// (0 = unlimited). When the window is full, Call and CallAsync block
+	// until a slot frees.
+	SetWindow(n int)
+}
+
+// CallAsync implements AsyncCaller; delivery on Inproc is synchronous
+// (the callee's handler runs on the caller's goroutine), so the returned
+// Call is already resolved.
+func (e *inprocEndpoint) CallAsync(to string, req *wire.Message) *Call {
+	reply, err := e.Call(to, req)
+	return resolvedCall(reply, err)
+}
+
+var _ AsyncCaller = (*inprocEndpoint)(nil)

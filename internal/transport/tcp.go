@@ -29,14 +29,22 @@ type peer struct {
 	// fr is the buffered, scratch-reusing frame reader over conn: only the
 	// read loop touches it. wq is the group-commit outbound path: any
 	// goroutine sends through it, and concurrent frames coalesce into
-	// batched writes while preserving enqueue order.
-	fr *wire.FrameReader
-	wq *writeQueue
+	// batched writes while preserving enqueue order. stats is the shared
+	// counter set wq reports to (also counts late replies).
+	fr    *wire.FrameReader
+	wq    *writeQueue
+	stats *WireStats
 
 	mu      sync.Mutex
-	pending map[uint64]chan *wire.Message
+	pending map[uint64]*Call
 	closed  bool
 	err     error
+	// window bounds concurrent outbound requests (0 = unlimited);
+	// inWindow is the current count, winWait wakes blocked issuers when a
+	// slot frees, the window widens, or the peer closes.
+	window   int
+	inWindow int
+	winWait  *sync.Cond
 
 	seq atomic.Uint64
 
@@ -52,14 +60,20 @@ type peer struct {
 }
 
 func newPeer(name string, conn net.Conn, h Handler, stats *WireStats) *peer {
-	return &peer{
+	p := &peer{
 		name:    name,
 		conn:    conn,
 		handler: h,
 		fr:      wire.NewFrameReader(conn),
 		wq:      newWriteQueue(conn, stats),
-		pending: map[uint64]chan *wire.Message{},
+		stats:   stats,
+		pending: map[uint64]*Call{},
 	}
+	p.winWait = sync.NewCond(&p.mu)
+	// Async frames have no blocked sender to carry a write error back, so
+	// the drainer reports poisoning here; shutdown is idempotent.
+	p.wq.onFail = func(err error) { p.shutdown(err) }
+	return p
 }
 
 func (p *peer) start() {
@@ -69,11 +83,24 @@ func (p *peer) start() {
 
 func (p *peer) readLoop() {
 	defer p.wg.Done()
+	corked := false
 	for {
 		m, err := p.fr.Read()
 		if err != nil {
 			p.shutdown(err)
 			return
+		}
+		// Burst batching: while more input is already buffered, hold the
+		// async write drain so replies (and piggybacked requests) gather
+		// into one flush; release just before the next Read would block,
+		// which bounds every cork to the burst being drained.
+		if nowCorked := p.fr.Buffered() > 0; nowCorked != corked {
+			corked = nowCorked
+			if corked {
+				p.wq.cork()
+			} else {
+				p.wq.uncork()
+			}
 		}
 		var rejected error
 		p.firstOnce.Do(func() {
@@ -111,18 +138,24 @@ func (p *peer) readLoop() {
 		}
 		if m.IsReply() {
 			p.mu.Lock()
-			ch, ok := p.pending[m.Seq]
+			c, ok := p.pending[m.Seq]
 			if ok {
-				delete(p.pending, m.Seq)
+				p.finishLocked(c, m, nil)
 			}
 			p.mu.Unlock()
-			if ok {
-				ch <- m
+			// Unmatched replies (caller timed out or abandoned the call)
+			// are dropped here, never delivered to a recycled Seq; the
+			// counter makes the drop observable.
+			if !ok && p.stats != nil {
+				p.stats.late.Add(1)
 			}
-			// Unmatched replies (caller timed out) are dropped.
 			continue
 		}
-		// Request: serve on its own goroutine so nested calls work.
+		// Request: serve on its own goroutine so nested calls work. The
+		// reply rides the async write path: with W pipelined requests in
+		// flight, W handler goroutines would otherwise all park in a sync
+		// send and be broadcast-woken on every flush; enqueueing lets
+		// concurrent replies coalesce into shared flushes instead.
 		p.wg.Add(1)
 		go func(req *wire.Message) {
 			defer p.wg.Done()
@@ -132,7 +165,7 @@ func (p *peer) readLoop() {
 			if p.obs != nil {
 				p.obs.OnMessage(p.name, req.From, reply)
 			}
-			if err := p.wq.send(reply); err != nil {
+			if err := p.wq.sendAsync(reply); err != nil {
 				p.shutdown(err)
 			}
 		}(m)
@@ -156,59 +189,81 @@ func (p *peer) serve(req *wire.Message) (reply *wire.Message) {
 }
 
 func (p *peer) call(to string, req *wire.Message, timeout time.Duration) (*wire.Message, error) {
-	seq := p.seq.Add(1)
+	return p.callAsync(to, req).wait(timeout)
+}
+
+// callAsync issues a request without waiting for its reply. It blocks only
+// while the in-flight window is full; the returned Call resolves when the
+// reply arrives, the caller abandons it, or the peer shuts down. Errors
+// (closed peer, failed write) come back as an already-resolved Call so the
+// issue path and the wait path report failures identically.
+func (p *peer) callAsync(to string, req *wire.Message) *Call {
 	// Stamp a shallow clone: the caller may retry the same message after a
 	// timeout or failure and must not observe this peer's Seq/From writes.
 	r := *req
 	req = &r
-	req.Seq = seq
-	req.From = p.name
-	if p.obs != nil {
-		p.obs.OnMessage(p.name, to, req)
-	}
-	ch := make(chan *wire.Message, 1)
 
 	p.mu.Lock()
+	for !p.closed && p.window > 0 && p.inWindow >= p.window {
+		p.winWait.Wait()
+	}
 	if p.closed {
 		err := p.err
 		p.mu.Unlock()
 		if err == nil {
 			err = ErrClosed
 		}
-		return nil, fmt.Errorf("transport: call on closed peer: %w", err)
+		return resolvedCall(nil, fmt.Errorf("transport: call on closed peer: %w", err))
 	}
-	p.pending[seq] = ch
+	seq := p.seq.Add(1)
+	c := &Call{p: p, seq: seq, done: make(chan struct{})}
+	p.pending[seq] = c
+	p.inWindow++
 	p.mu.Unlock()
 
-	if err := p.wq.send(req); err != nil {
-		p.mu.Lock()
-		delete(p.pending, seq)
-		p.mu.Unlock()
+	req.Seq = seq
+	req.From = p.name
+	if p.obs != nil {
+		p.obs.OnMessage(p.name, to, req)
+	}
+	// Async enqueue: adjacent pipelined calls coalesce into shared
+	// flushes instead of paying one write syscall each.
+	if err := p.wq.sendAsync(req); err != nil {
+		p.finish(c, nil, err)
 		p.shutdown(err)
-		return nil, err
 	}
+	return c
+}
 
-	var timer <-chan time.Time
-	if timeout > 0 {
-		t := time.NewTimer(timeout)
-		defer t.Stop()
-		timer = t.C
+// finish resolves c exactly once. Racing resolvers (reply vs timeout vs
+// shutdown) serialize on p.mu; only the one that still finds c registered
+// wins, the rest are no-ops.
+func (p *peer) finish(c *Call, reply *wire.Message, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.finishLocked(c, reply, err)
+}
+
+func (p *peer) finishLocked(c *Call, reply *wire.Message, err error) {
+	if p.pending[c.seq] != c {
+		return
 	}
-	select {
-	case reply, ok := <-ch:
-		if !ok || reply == nil {
-			return nil, ErrClosed
-		}
-		if err := wire.ErrorOf(reply); err != nil {
-			return reply, err
-		}
-		return reply, nil
-	case <-timer:
-		p.mu.Lock()
-		delete(p.pending, seq)
-		p.mu.Unlock()
-		return nil, fmt.Errorf("transport: call to peer timed out after %v", timeout)
-	}
+	delete(p.pending, c.seq)
+	p.inWindow--
+	p.winWait.Signal()
+	c.reply = reply
+	c.err = err
+	close(c.done)
+}
+
+// setWindow bounds the number of unresolved outbound requests (0 = no
+// bound). Shrinking does not cancel in-flight calls; new issuers block
+// until the count drains below the new bound.
+func (p *peer) setWindow(n int) {
+	p.mu.Lock()
+	p.window = n
+	p.winWait.Broadcast()
+	p.mu.Unlock()
 }
 
 func (p *peer) shutdown(err error) {
@@ -218,18 +273,25 @@ func (p *peer) shutdown(err error) {
 		return
 	}
 	p.closed = true
-	p.err = err
-	pend := p.pending
-	p.pending = map[uint64]chan *wire.Message{}
-	p.mu.Unlock()
-	for _, ch := range pend {
-		close(ch)
-	}
-	// Poison the write queue first so new senders fail fast, then close
-	// the conn so an in-flight flusher's blocked write returns too.
 	if err == nil {
 		err = ErrClosed
 	}
+	p.err = err
+	// Resolve every in-flight call with the shutdown cause and wake
+	// issuers blocked on a full window so they observe closed.
+	callErr := fmt.Errorf("transport: call on closed peer: %w", err)
+	pend := p.pending
+	p.pending = map[uint64]*Call{}
+	for _, c := range pend {
+		c.reply = nil
+		c.err = callErr
+		close(c.done)
+	}
+	p.inWindow = 0
+	p.winWait.Broadcast()
+	p.mu.Unlock()
+	// Poison the write queue first so new senders fail fast, then close
+	// the conn so an in-flight flusher's blocked write returns too.
 	p.wq.fail(err)
 	p.conn.Close()
 	if p.onClose != nil {
@@ -365,6 +427,19 @@ func (s *Server) Call(to string, req *wire.Message) (*wire.Message, error) {
 	return p.call(to, req, s.timeout)
 }
 
+// CallAsync issues a request to the named connected client without
+// waiting for the reply; the returned Call resolves when the reply
+// arrives or the connection dies. Implements AsyncCaller.
+func (s *Server) CallAsync(to string, req *wire.Message) *Call {
+	s.mu.Lock()
+	p, ok := s.clients[to]
+	s.mu.Unlock()
+	if !ok {
+		return resolvedCall(nil, fmt.Errorf("%w: %q (not connected)", ErrUnknownNode, to))
+	}
+	return p.callAsync(to, req)
+}
+
 // Clients returns the names of currently connected clients.
 func (s *Server) Clients() []string {
 	s.mu.Lock()
@@ -463,7 +538,12 @@ func (e serverEndpoint) Call(to string, req *wire.Message) (*wire.Message, error
 	// peer.call stamps From (on a clone); nothing to do here.
 	return e.s.Call(to, req)
 }
+func (e serverEndpoint) CallAsync(to string, req *wire.Message) *Call {
+	return e.s.CallAsync(to, req)
+}
 func (e serverEndpoint) Close() error { return e.s.Close() }
+
+var _ AsyncCaller = serverEndpoint{}
 
 // DialNetwork adapts a server address into a Network: each attachment
 // dials a fresh connection as the named node. It lets cache managers run
@@ -475,6 +555,10 @@ type DialNetwork struct {
 	// DialFn, if non-nil, replaces the plain TCP dial — e.g. with a
 	// secure.Dial through an encryptor/decryptor pair.
 	DialFn func(addr string) (net.Conn, error)
+	// Window, if > 0, bounds concurrent in-flight requests on every
+	// connection this network dials (applied on Attach, and therefore
+	// re-applied to each connection a reconnecting CM redials).
+	Window int
 }
 
 // NewDialNetwork returns a dialing network for the given server address.
@@ -512,6 +596,9 @@ func (n *DialNetwork) Attach(name string, h Handler) (Endpoint, error) {
 	// of the client's, so observers added to the network later still see
 	// this connection's traffic.
 	c.AddObserver(&n.obs)
+	if n.Window > 0 {
+		c.SetWindow(n.Window)
+	}
 	return c, nil
 }
 
@@ -604,6 +691,21 @@ func (c *Client) WireStats() WireStatsSnapshot { return c.stats.Snapshot() }
 func (c *Client) Call(to string, req *wire.Message) (*wire.Message, error) {
 	return c.p.call(to, req, c.timeout)
 }
+
+// CallAsync implements AsyncCaller: it issues the request and returns a
+// Call that resolves when the reply arrives. It blocks only while the
+// in-flight window (SetWindow) is full. Note the client's call timeout
+// does NOT apply to async calls — bound the wait with WaitTimeout.
+func (c *Client) CallAsync(to string, req *wire.Message) *Call {
+	return c.p.callAsync(to, req)
+}
+
+// SetWindow implements WindowSetter, bounding concurrent in-flight
+// requests on this connection (0 = unlimited).
+func (c *Client) SetWindow(n int) { c.p.setWindow(n) }
+
+var _ AsyncCaller = (*Client)(nil)
+var _ WindowSetter = (*Client)(nil)
 
 // Close implements Endpoint. It waits for the client's read loop and any
 // in-flight server-initiated handlers to drain.

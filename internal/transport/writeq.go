@@ -3,6 +3,7 @@ package transport
 import (
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -17,6 +18,7 @@ type WireStats struct {
 	frames  atomic.Int64
 	flushes atomic.Int64
 	bytes   atomic.Int64
+	late    atomic.Int64
 }
 
 // Snapshot returns the current counter values.
@@ -25,9 +27,10 @@ func (s *WireStats) Snapshot() WireStatsSnapshot {
 		return WireStatsSnapshot{}
 	}
 	return WireStatsSnapshot{
-		Frames:  s.frames.Load(),
-		Flushes: s.flushes.Load(),
-		Bytes:   s.bytes.Load(),
+		Frames:      s.frames.Load(),
+		Flushes:     s.flushes.Load(),
+		Bytes:       s.bytes.Load(),
+		LateReplies: s.late.Load(),
 	}
 }
 
@@ -40,6 +43,10 @@ type WireStatsSnapshot struct {
 	Flushes int64
 	// Bytes is the total framed bytes written.
 	Bytes int64
+	// LateReplies is the number of inbound replies whose Seq matched no
+	// pending call — the caller had already timed out or abandoned it —
+	// and which the read loop therefore dropped.
+	LateReplies int64
 }
 
 // coalesceLimit bounds the batch size the flusher memcopies into its
@@ -67,14 +74,24 @@ type writeQueue struct {
 	w     io.Writer
 	stats *WireStats // nil disables accounting
 
+	// onFail, if set, is invoked (without mu) when the background drainer
+	// observes the queue poisoned: async frames have no blocked sender to
+	// return the error to, so the owner (the peer) learns this way.
+	onFail func(error)
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	pending  []*wire.EncodedFrame
 	enqueued uint64 // frames ever enqueued
 	written  uint64 // frames flushed successfully
 	flushing bool
-	err      error  // sticky: first write failure or fail() reason
-	scratch  []byte // flush coalescing buffer; only the flusher touches it
+	draining bool // a background drainer owns leftover async frames
+	// corked holds the background drainer (async frames only — sync
+	// senders still flush) so replies to a request burst accumulate into
+	// one batch; the read loop uncorks before it blocks on input.
+	corked  bool
+	err     error  // sticky: first write failure or fail() reason
+	scratch []byte // flush coalescing buffer; only the flusher touches it
 }
 
 func newWriteQueue(w io.Writer, stats *WireStats) *writeQueue {
@@ -117,6 +134,91 @@ func (q *writeQueue) send(m *wire.Message) error {
 		}
 		q.cond.Wait()
 	}
+}
+
+// sendAsync encodes m, enqueues it, and returns without waiting for the
+// write — the pipelined-call fast path. Frames enqueued while a flush is
+// in flight coalesce into the next batch, so a single issuer streaming
+// async calls batches its frames automatically instead of paying one
+// syscall each. Because no sender blocks on an async frame, a background
+// drainer is kept alive while any remain; enqueue order is still globally
+// preserved across send and sendAsync. A write failure poisons the queue
+// and is reported through onFail (async senders have already returned).
+func (q *writeQueue) sendAsync(m *wire.Message) error {
+	f, err := wire.EncodeFrame(m)
+	if err != nil {
+		return err
+	}
+	q.mu.Lock()
+	if q.err != nil {
+		err := q.err
+		q.mu.Unlock()
+		f.Release()
+		return err
+	}
+	q.pending = append(q.pending, f)
+	q.enqueued++
+	if !q.draining {
+		q.draining = true
+		go q.drainLoop()
+	}
+	q.mu.Unlock()
+	return nil
+}
+
+// drainSmallBatch is the batch size below which the drainer yields the
+// processor once before flushing: concurrent producers that are already
+// runnable (a burst of reply handlers, a pipelining issuer) get to
+// enqueue, and their frames ride the same flush instead of paying one
+// write syscall each. One bounded yield, not a wait — an idle connection
+// still flushes its lone frame immediately after.
+const drainSmallBatch = 8
+
+// drainLoop flushes until no async frames remain, yielding to sync
+// senders' in-flight flushes (their batches carry our frames too) and
+// holding while the queue is corked.
+func (q *writeQueue) drainLoop() {
+	yielded := false
+	q.mu.Lock()
+	for q.err == nil && len(q.pending) > 0 {
+		if q.flushing || q.corked {
+			q.cond.Wait()
+			continue
+		}
+		if !yielded && len(q.pending) < drainSmallBatch {
+			yielded = true
+			q.mu.Unlock()
+			runtime.Gosched()
+			q.mu.Lock()
+			continue
+		}
+		yielded = false
+		q.flushLocked()
+	}
+	q.draining = false
+	err := q.err
+	q.mu.Unlock()
+	if err != nil && q.onFail != nil {
+		q.onFail(err)
+	}
+}
+
+// cork holds async flushes so frames accumulate into one batch. Sync
+// sends are unaffected (they flush corked frames along with their own),
+// so corking can never deadlock a sender — it only defers the drainer.
+func (q *writeQueue) cork() {
+	q.mu.Lock()
+	q.corked = true
+	q.mu.Unlock()
+}
+
+// uncork releases held frames to the drainer. The read loop calls it
+// before blocking on input, bounding how long a cork can last.
+func (q *writeQueue) uncork() {
+	q.mu.Lock()
+	q.corked = false
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // flushLocked takes the whole pending queue and writes it as one batch.

@@ -138,6 +138,12 @@ func NewFrameReader(r io.Reader) *FrameReader {
 	return &FrameReader{br: bufio.NewReaderSize(r, frameReaderBuf)}
 }
 
+// Buffered reports how many stream bytes are already buffered: non-zero
+// means the next Read will not block on the underlying reader. The
+// transport read loop uses it to hold reply flushes while a request
+// burst is still draining (cork), so pipelined replies batch.
+func (fr *FrameReader) Buffered() int { return fr.br.Buffered() }
+
 // Read reads and decodes the next frame.
 func (fr *FrameReader) Read() (*Message, error) {
 	var hdr [4]byte
