@@ -1,0 +1,243 @@
+package main
+
+// The conflict experiment (E16): throughput of the registry's indexed
+// conflict engine against the brute-force pairwise scan it replaced, at
+// 1k/10k/100k registered views. Two workloads:
+//
+//   - uniform: every view holds one narrow interval drawn uniformly from
+//     the property space, tuned so a conflict query matches ~1% of the
+//     table — the "many small independent conflict groups" regime.
+//   - skew: every 20th view shares one hot property (one big contested
+//     conflict group) while the rest sit on disjoint cold points — the
+//     flash-crowd regime the router's conflict-affinity placement feeds.
+//
+// Measured per size and workload: ConflictingWith latency (with the
+// observed matches/op) and registration throughput, indexed vs a
+// brute-force reference that performs the old per-candidate pairwise
+// Set.Overlaps scan. `-json` writes BENCH_conflict.json for the
+// benchmark trajectory; `-agents N` caps the largest table size (CI runs
+// the 1k row only).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"flecc/internal/property"
+	"flecc/internal/registry"
+)
+
+// conflictWorkload names a property-placement shape.
+type conflictWorkload struct {
+	name  string
+	props func(rng *rand.Rand, i int) property.Set
+}
+
+func conflictWorkloads() []conflictWorkload {
+	return []conflictWorkload{
+		{"uniform", func(rng *rand.Rand, _ int) property.Set {
+			lo := rng.Float64() * 100
+			return property.NewSet(property.New("K", property.Interval(lo, lo+0.5)))
+		}},
+		{"skew", func(rng *rand.Rand, i int) property.Set {
+			if i%20 == 0 {
+				return property.NewSet(property.New("H", property.Interval(0, 1)))
+			}
+			return property.NewSet(property.New("K", property.Point(float64(i))))
+		}},
+	}
+}
+
+// bruteTable is the retained reference: the pre-index conflict scan — a
+// pairwise property-set intersection against every registered view.
+type bruteTable struct {
+	props map[string]property.Set
+	names []string
+}
+
+func newBruteTable() *bruteTable { return &bruteTable{props: map[string]property.Set{}} }
+
+func (b *bruteTable) register(name string, ps property.Set) {
+	b.props[name] = ps
+	b.names = append(b.names, name)
+}
+
+func (b *bruteTable) conflictingWith(name string) []string {
+	self, ok := b.props[name]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for n, ps := range b.props {
+		if n == name {
+			continue
+		}
+		if self.Overlaps(ps) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func conflictViewName(i int) string { return fmt.Sprintf("view-%06d", i) }
+
+// runConflict executes the conflict benchmark set; sizes above maxViews
+// are skipped (0 = run all).
+func runConflict(jsonOut string, maxViews int) error {
+	sizes := []int{1000, 10000, 100000}
+	var rows []wireBenchResult
+
+	for _, w := range conflictWorkloads() {
+		for _, n := range sizes {
+			if maxViews > 0 && n > maxViews {
+				continue
+			}
+			rows = append(rows, conflictQueryRows(w, n)...)
+			rows = append(rows, conflictRegisterRows(w, n)...)
+		}
+	}
+
+	report := wireBenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   rows,
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", jsonOut, len(report.Results))
+		return nil
+	}
+	fmt.Printf("%-44s %14s %12s %12s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+	for _, r := range report.Results {
+		fmt.Printf("%-44s %14.1f %12d %12d", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		for _, k := range sortedExtraKeys(r.Extra) {
+			fmt.Printf("  %s=%.2f", k, r.Extra[k])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func sortedExtraKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// conflictQueryRows measures ConflictingWith latency at one table size,
+// indexed (the real registry) vs brute (the reference scan).
+func conflictQueryRows(w conflictWorkload, n int) []wireBenchResult {
+	reg := registry.New()
+	brute := newBruteTable()
+	rng := rand.New(rand.NewSource(42))
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = conflictViewName(i)
+		ps := w.props(rng, i)
+		if err := reg.Register(names[i], ps); err != nil {
+			panic(err)
+		}
+		reg.SetActive(names[i], true)
+		brute.register(names[i], ps)
+	}
+
+	var rows []wireBenchResult
+	var matches int
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		matches = 0
+		for i := 0; i < b.N; i++ {
+			matches += len(reg.ConflictingWith(names[i%n], true))
+		}
+	})
+	indexedNs := float64(res.T.Nanoseconds()) / float64(res.N)
+	rows = append(rows, wireBenchResult{
+		Name: fmt.Sprintf("conflict_query/%s/n%d/indexed", w.name, n),
+		N:    res.N, NsPerOp: indexedNs,
+		AllocsPerOp: res.AllocsPerOp(), BytesPerOp: res.AllocedBytesPerOp(),
+		Extra: map[string]float64{"matches_per_op": float64(matches) / float64(res.N)},
+	})
+
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		matches = 0
+		for i := 0; i < b.N; i++ {
+			matches += len(brute.conflictingWith(names[i%n]))
+		}
+	})
+	bruteNs := float64(res.T.Nanoseconds()) / float64(res.N)
+	extra := map[string]float64{"matches_per_op": float64(matches) / float64(res.N)}
+	if indexedNs > 0 {
+		extra["speedup_vs_indexed"] = bruteNs / indexedNs
+	}
+	rows = append(rows, wireBenchResult{
+		Name: fmt.Sprintf("conflict_query/%s/n%d/brute", w.name, n),
+		N:    res.N, NsPerOp: bruteNs,
+		AllocsPerOp: res.AllocsPerOp(), BytesPerOp: res.AllocedBytesPerOp(),
+		Extra: extra,
+	})
+	return rows
+}
+
+// conflictRegisterRows measures registration throughput into a table of
+// the given size: the index pays treap/posting maintenance per register,
+// the brute table is a bare map insert (its cost comes due at query
+// time). Both build the full n-view table per measurement pass.
+func conflictRegisterRows(w conflictWorkload, n int) []wireBenchResult {
+	row := func(mode string, build func() func(i int, ps property.Set)) wireBenchResult {
+		var rng *rand.Rand
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += n {
+				b.StopTimer()
+				rng = rand.New(rand.NewSource(42))
+				add := build()
+				b.StartTimer()
+				for j := 0; j < n && i+j < b.N; j++ {
+					add(j, w.props(rng, j))
+				}
+			}
+		})
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		extra := map[string]float64{}
+		if ns > 0 {
+			extra["views_per_sec"] = 1e9 / ns
+		}
+		return wireBenchResult{
+			Name: fmt.Sprintf("register/%s/n%d/%s", w.name, n, mode),
+			N:    res.N, NsPerOp: ns,
+			AllocsPerOp: res.AllocsPerOp(), BytesPerOp: res.AllocedBytesPerOp(),
+			Extra: extra,
+		}
+	}
+	return []wireBenchResult{
+		row("indexed", func() func(int, property.Set) {
+			reg := registry.New()
+			return func(i int, ps property.Set) {
+				if err := reg.Register(conflictViewName(i), ps); err != nil {
+					panic(err)
+				}
+			}
+		}),
+		row("brute", func() func(int, property.Set) {
+			t := newBruteTable()
+			return func(i int, ps property.Set) { t.register(conflictViewName(i), ps) }
+		}),
+	}
+}

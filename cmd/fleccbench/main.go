@@ -11,12 +11,15 @@
 //	fleccbench -exp ablation-rw         # E6: read/write semantics
 //	fleccbench -exp ablation-peer       # E7: centralized vs decentralized
 //	fleccbench -exp wire                # E13: wire-path micro-benchmarks
+//	fleccbench -exp conflict            # E16: conflict-index micro-benchmarks
 //	fleccbench -exp all                 # everything
 //
 // Figure parameters can be scaled with -agents/-ops; the defaults are the
-// paper's settings. The wire experiment supports -json, which writes a
-// machine-readable report (default BENCH_wire.json, override with -out)
-// instead of the text table — the format CI's benchmark trajectory diffs.
+// paper's settings. The wire and conflict experiments support -json, which
+// writes a machine-readable report (default BENCH_wire.json resp.
+// BENCH_conflict.json, override with -out) instead of the text table — the
+// format CI's benchmark trajectory diffs. For the conflict experiment,
+// -agents caps the largest view-table size (CI smoke uses -agents 1000).
 package main
 
 import (
@@ -29,25 +32,33 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4, fig5, fig6, ablation-conflict, ablation-rw, ablation-peer, ablation-propagation, buyermix, wire, all")
-		agents  = flag.Int("agents", 0, "override agent count (0 = paper default)")
+		exp     = flag.String("exp", "all", "experiment: fig4, fig5, fig6, ablation-conflict, ablation-rw, ablation-peer, ablation-propagation, buyermix, wire, conflict, all")
+		agents  = flag.Int("agents", 0, "override agent count (0 = paper default); for -exp conflict, caps the largest view-table size")
 		ops     = flag.Int("ops", 0, "override per-agent/per-phase op count (0 = paper default)")
 		check   = flag.Bool("check", true, "verify the qualitative shape of each result")
-		jsonOut = flag.Bool("json", false, "wire experiment: write a JSON report instead of a text table")
-		out     = flag.String("out", "BENCH_wire.json", "wire experiment: JSON report path (with -json)")
+		jsonOut = flag.Bool("json", false, "wire/conflict experiments: write a JSON report instead of a text table")
+		out     = flag.String("out", "", "wire/conflict experiments: JSON report path (with -json; default BENCH_wire.json / BENCH_conflict.json)")
 	)
 	flag.Parse()
-	dest := ""
-	if *jsonOut {
-		dest = *out
-	}
-	if err := run(*exp, *agents, *ops, *check, dest); err != nil {
+	if err := run(*exp, *agents, *ops, *check, *jsonOut, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "fleccbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, agents, ops int, check bool, wireJSON string) error {
+// benchDest resolves the JSON report path for a benchmark experiment:
+// empty when -json is off, the per-experiment default when -out is unset.
+func benchDest(jsonOut bool, out, def string) string {
+	if !jsonOut {
+		return ""
+	}
+	if out == "" {
+		return def
+	}
+	return out
+}
+
+func run(exp string, agents, ops int, check, jsonOut bool, out string) error {
 	switch exp {
 	case "fig4":
 		return runFig4(agents, ops, check)
@@ -66,10 +77,12 @@ func run(exp string, agents, ops int, check bool, wireJSON string) error {
 	case "ablation-propagation":
 		return runPropagation(check)
 	case "wire":
-		return runWire(wireJSON)
+		return runWire(benchDest(jsonOut, out, "BENCH_wire.json"))
+	case "conflict":
+		return runConflict(benchDest(jsonOut, out, "BENCH_conflict.json"), agents)
 	case "all":
-		for _, e := range []string{"fig4", "fig5", "fig6", "ablation-conflict", "ablation-rw", "ablation-peer", "ablation-propagation", "buyermix", "wire"} {
-			if err := run(e, agents, ops, check, wireJSON); err != nil {
+		for _, e := range []string{"fig4", "fig5", "fig6", "ablation-conflict", "ablation-rw", "ablation-peer", "ablation-propagation", "buyermix", "wire", "conflict"} {
+			if err := run(e, agents, ops, check, jsonOut, out); err != nil {
 				return err
 			}
 			fmt.Println()

@@ -438,19 +438,12 @@ func (m *Manager) handlePull(req *wire.Message) *wire.Message {
 
 // conflictSet returns the views whose data overlaps the given view's,
 // honoring the static map; with GatherAll it is simply everyone else.
+// Both paths take one coherent registry snapshot: ConflictingWith runs
+// the O(log n + matches) conflict index, and Others replaces the old
+// Views+Active round-trip-per-candidate scan.
 func (m *Manager) conflictSet(view string, activeOnly bool) []string {
 	if m.opts.GatherAll {
-		var out []string
-		for _, other := range m.reg.Views() {
-			if other == view {
-				continue
-			}
-			if activeOnly && !m.reg.Active(other) {
-				continue
-			}
-			out = append(out, other)
-		}
-		return out
+		return m.reg.Others(view, activeOnly)
 	}
 	return m.reg.ConflictingWith(view, activeOnly)
 }

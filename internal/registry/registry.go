@@ -65,12 +65,27 @@ type ViewInfo struct {
 
 // Registry tracks registered views, their property sets, and the static
 // conflict matrix. It is safe for concurrent use.
+//
+// Conflict queries are served by an incrementally maintained posting
+// index over the views' property sets (see index.go): ConflictingWith is
+// O(log n + matches) instead of a pairwise O(n) scan, with the static
+// matrix applied as a short-circuit overlay so static pairs never touch
+// the dynamic index.
 type Registry struct {
-	mu     sync.RWMutex
-	views  map[string]*ViewInfo
+	mu    sync.RWMutex
+	views map[string]*ViewInfo
+	// static holds the matrix under canonical (min,max) pair keys only,
+	// so either direction resolves in one map read.
 	static map[[2]string]Relation
+	// staticBy is the per-view adjacency of the static matrix — the
+	// overlay ConflictingWith walks instead of scanning all pairs.
+	staticBy map[string]map[string]Relation
 	// defaultRel applies to pairs without a static entry.
 	defaultRel Relation
+	// idx is the dynamic conflict index over non-lost registered views.
+	// nil when noIndex is set (brute-force reference mode, tests only).
+	idx     *property.Index
+	noIndex bool
 }
 
 // New returns an empty registry whose unspecified pairs are Dynamic —
@@ -79,7 +94,9 @@ func New() *Registry {
 	return &Registry{
 		views:      map[string]*ViewInfo{},
 		static:     map[[2]string]Relation{},
+		staticBy:   map[string]map[string]Relation{},
 		defaultRel: Dynamic,
+		idx:        property.NewIndex(),
 	}
 }
 
@@ -93,27 +110,41 @@ func (r *Registry) SetDefaultRelation(rel Relation) {
 	r.mu.Unlock()
 }
 
-// SetStatic records a symmetric static-matrix entry for a view pair.
+// SetStatic records a symmetric static-matrix entry for a view pair. The
+// entry is stored once under the canonical pair key and mirrored into the
+// per-view adjacency that ConflictingWith overlays on the dynamic index.
 func (r *Registry) SetStatic(a, b string, rel Relation) {
+	if a == b {
+		return // the diagonal is fixed at Conflict
+	}
 	r.mu.Lock()
-	r.static[[2]string{a, b}] = rel
-	r.static[[2]string{b, a}] = rel
+	ca, cb := a, b
+	if cb < ca {
+		ca, cb = cb, ca
+	}
+	r.static[[2]string{ca, cb}] = rel
+	for _, e := range [2][2]string{{a, b}, {b, a}} {
+		adj := r.staticBy[e[0]]
+		if adj == nil {
+			adj = map[string]Relation{}
+			r.staticBy[e[0]] = adj
+		}
+		adj[e[1]] = rel
+	}
 	r.mu.Unlock()
 }
 
 // StaticRelation returns the static-matrix entry for a pair (the default
-// relation when unset). The diagonal is always Conflict — a view trivially
-// shares data with itself.
+// relation when unset), resolving both directions in one locked map read.
+// The diagonal is always Conflict — a view trivially shares data with
+// itself.
 func (r *Registry) StaticRelation(a, b string) Relation {
 	if a == b {
 		return Conflict
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if rel, ok := r.static[[2]string{a, b}]; ok {
-		return rel
-	}
-	return r.defaultRel
+	return r.staticRelationLocked(a, b)
 }
 
 // Register adds a view with its initial property set. Registering an
@@ -124,7 +155,9 @@ func (r *Registry) Register(name string, props property.Set) error {
 	if _, dup := r.views[name]; dup {
 		return fmt.Errorf("registry: view %q already registered", name)
 	}
-	r.views[name] = &ViewInfo{Name: name, Props: props.Clone()}
+	v := &ViewInfo{Name: name, Props: props.Clone()}
+	r.views[name] = v
+	r.indexInsertLocked(v)
 	return nil
 }
 
@@ -132,6 +165,7 @@ func (r *Registry) Register(name string, props property.Set) error {
 func (r *Registry) Unregister(name string) {
 	r.mu.Lock()
 	delete(r.views, name)
+	r.indexRemoveLocked(name)
 	r.mu.Unlock()
 }
 
@@ -152,6 +186,11 @@ func (r *Registry) SetProps(name string, props property.Set) error {
 		return fmt.Errorf("registry: view %q not registered", name)
 	}
 	v.Props = props.Clone()
+	// Re-index under the new set; a lost view stays out of the index and
+	// re-enters with the updated set when found again.
+	if !v.Lost {
+		r.indexInsertLocked(v)
+	}
 	return nil
 }
 
@@ -187,10 +226,15 @@ func (r *Registry) Active(name string) bool {
 // Marking lost also deactivates. Unknown names are ignored.
 func (r *Registry) SetLost(name string, lost bool) {
 	r.mu.Lock()
-	if v, ok := r.views[name]; ok {
+	if v, ok := r.views[name]; ok && v.Lost != lost {
 		v.Lost = lost
 		if lost {
 			v.Active = false
+			// A tombstone never appears in a conflict set; drop its
+			// postings so queries skip it structurally.
+			r.indexRemoveLocked(name)
+		} else {
+			r.indexInsertLocked(v)
 		}
 	}
 	r.mu.Unlock()
@@ -244,60 +288,37 @@ func (r *Registry) Len() int {
 //   - static 0 → false,
 //   - static -1 → dynConfl over the views' current property sets.
 //
-// Unregistered views never conflict.
+// Unregistered views never conflict. The static relation, registration
+// checks, and property comparison all happen under one coherent read lock.
 func (r *Registry) Conflicts(a, b string) bool {
-	switch r.StaticRelation(a, b) {
-	case Conflict:
-		// Still require both registered.
-		r.mu.RLock()
-		_, okA := r.views[a]
-		_, okB := r.views[b]
-		r.mu.RUnlock()
-		return okA && okB
-	case NoConflict:
-		return false
-	default:
-		r.mu.RLock()
-		va, okA := r.views[a]
-		vb, okB := r.views[b]
-		r.mu.RUnlock()
-		if !okA || !okB {
-			return false
-		}
-		return property.DynConfl(va.Props, vb.Props) == 1
-	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.conflictsLocked(a, b)
 }
 
 // ConflictingWith returns the sorted names of registered views that share
 // data with the given view (excluding itself). If activeOnly is set, only
 // currently active views are returned — the set the directory manager must
-// invalidate (strong mode) or update (weak mode).
+// invalidate (strong mode) or update (weak mode). Lost views are
+// unreachable tombstones and never appear in the set.
+//
+// The whole query runs under one read lock — one coherent snapshot, no
+// set-props interleaving mid-scan — and is served by the conflict index
+// in O(log n + matches) (see index.go for the per-defaultRel plans).
 func (r *Registry) ConflictingWith(name string, activeOnly bool) []string {
 	r.mu.RLock()
-	names := make([]string, 0, len(r.views))
-	for n, v := range r.views {
-		if n == name {
-			continue
-		}
-		// Lost views are unreachable tombstones: nothing can be gathered
-		// from or invalidated at them, so they never appear in the set.
-		if v.Lost {
-			continue
-		}
-		if activeOnly && !v.Active {
-			continue
-		}
-		names = append(names, n)
-	}
-	r.mu.RUnlock()
-	var out []string
-	for _, n := range names {
-		if r.Conflicts(name, n) {
-			out = append(out, n)
-		}
-	}
-	sort.Strings(out)
-	return out
+	defer r.mu.RUnlock()
+	return r.conflictingWithLocked(name, activeOnly)
+}
+
+// Others returns the sorted names of every registered view except the
+// given one, optionally restricted to active views — the conflict set of
+// a GatherAll ("application-oblivious") deployment, computed under one
+// read lock instead of a Views+Active lock round-trip per candidate.
+func (r *Registry) Others(name string, activeOnly bool) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.othersLocked(name, activeOnly)
 }
 
 // SharedInterest returns the intersection of the two views' current
@@ -305,11 +326,6 @@ func (r *Registry) ConflictingWith(name string, activeOnly bool) []string {
 // manager uses it to restrict update payloads to the overlapping data.
 func (r *Registry) SharedInterest(a, b string) property.Set {
 	r.mu.RLock()
-	va, okA := r.views[a]
-	vb, okB := r.views[b]
-	r.mu.RUnlock()
-	if !okA || !okB {
-		return property.NewSet()
-	}
-	return va.Props.Intersect(vb.Props)
+	defer r.mu.RUnlock()
+	return r.sharedInterestLocked(a, b)
 }

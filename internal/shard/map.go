@@ -87,6 +87,11 @@ type Map struct {
 	shards   map[string]struct{}
 	ring     []ringPoint
 	pins     []Pin
+	// pinIdx is a posting index over the pin properties, keyed by the
+	// pin's ordinal in the consultation order, so RouteProps resolves the
+	// first matching pin in O(log pins + matches) instead of scanning the
+	// whole override table per registration.
+	pinIdx *property.Index
 }
 
 // NewMap builds a map over the given shard nodes with the given number of
@@ -95,7 +100,7 @@ func NewMap(replicas int, shards ...string) *Map {
 	if replicas <= 0 {
 		replicas = DefaultReplicas
 	}
-	m := &Map{replicas: replicas, shards: map[string]struct{}{}}
+	m := &Map{replicas: replicas, shards: map[string]struct{}{}, pinIdx: property.NewIndex()}
 	for _, s := range shards {
 		m.shards[s] = struct{}{}
 	}
@@ -155,6 +160,13 @@ func (m *Map) Remove(shard string) {
 		}
 	}
 	m.pins = kept
+	// Dropping pins renumbers the consultation order; rebuild the pin
+	// index from scratch (membership changes are rare and the table is
+	// small next to the view population).
+	m.pinIdx = property.NewIndex()
+	for i, p := range m.pins {
+		m.pinIdx.Insert(strconv.Itoa(i), property.NewSet(p.Prop))
+	}
 	m.rebuild()
 }
 
@@ -214,6 +226,7 @@ func (m *Map) Pin(p property.Property, shard string) error {
 		return fmt.Errorf("shard: pin target %q is not a member shard", shard)
 	}
 	m.pins = append(m.pins, Pin{Prop: p, Shard: shard})
+	m.pinIdx.Insert(strconv.Itoa(len(m.pins)-1), property.NewSet(p))
 	return nil
 }
 
@@ -227,17 +240,22 @@ func (m *Map) Pins() []Pin {
 }
 
 // RouteProps consults the pin table for a property set: the first pin
-// whose property overlaps any property of the set wins. The second result
-// reports whether a pin matched.
+// whose property overlaps any property of the set wins (resolved through
+// the pin posting index — the earliest ordinal among the overlapping
+// pins, identical to the old in-order scan). The second result reports
+// whether a pin matched.
 func (m *Map) RouteProps(props property.Set) (string, bool) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	for _, pin := range m.pins {
-		for _, p := range props.Properties() {
-			if pin.Prop.Overlaps(p) {
-				return pin.Shard, true
-			}
+	first := -1
+	m.pinIdx.Overlapping(props, func(key string) bool {
+		if i, err := strconv.Atoi(key); err == nil && (first < 0 || i < first) {
+			first = i
 		}
+		return true
+	})
+	if first < 0 {
+		return "", false
 	}
-	return "", false
+	return m.pins[first].Shard, true
 }

@@ -49,6 +49,7 @@ type Router struct {
 	cond     *sync.Cond
 	assign   map[string]string       // view -> owning shard
 	vprops   map[string]property.Set // view -> last known property set
+	pidx     *property.Index         // posting index over vprops (conflict affinity)
 	inflight map[string]int          // shard -> routed calls in flight
 	frozen   map[string]bool         // shard -> migration freeze
 	vv       vclock.Vector           // shard -> highest primary version observed
@@ -68,6 +69,7 @@ func NewRouter(net transport.Network, name string, m *Map) (*Router, error) {
 		m:        m,
 		assign:   map[string]string{},
 		vprops:   map[string]property.Set{},
+		pidx:     property.NewIndex(),
 		inflight: map[string]int{},
 		frozen:   map[string]bool{},
 		vv:       vclock.NewVector(),
@@ -190,6 +192,7 @@ func (r *Router) acquire(view string, t wire.Type, props property.Set) (shard st
 				// conflicting views see it; rolled back if the shard refuses.
 				r.assign[view] = shard
 				r.vprops[view] = props.Clone()
+				r.pidx.Insert(view, r.vprops[view])
 			} else if t == wire.TSetProps {
 				// The view keeps its shard (assignments are sticky), so the
 				// new set must not overlap views owned elsewhere — the
@@ -219,15 +222,14 @@ func (r *Router) placeLocked(view string, props property.Set) (string, error) {
 	// dynConfl check only sees its own registry. Collect the whole overlap
 	// group — co-locating with just the first overlapping view could make
 	// the newcomer a bridge between disjoint views on different shards,
-	// silently splitting its conflicts.
+	// silently splitting its conflicts. The posting index answers "which
+	// assigned views overlap?" in O(log n + matches) instead of scanning
+	// every assignment.
 	group := map[string]bool{}
-	if !props.IsEmpty() {
-		for v, s := range r.assign {
-			if r.vprops[v].Overlaps(props) {
-				group[s] = true
-			}
-		}
-	}
+	r.pidx.Overlapping(props, func(v string) bool {
+		group[r.assign[v]] = true
+		return true
+	})
 	if len(group) > 1 {
 		return "", fmt.Errorf(
 			"shard router %s: registering %s would span its conflict group across shards %s; pin the property domain to one shard",
@@ -255,18 +257,18 @@ func (r *Router) placeLocked(view string, props property.Set) (string, error) {
 // (other than self) whose property set overlaps props, or "" when the
 // overlap group stays on home. Caller holds mu.
 func (r *Router) overlapOutsideLocked(self, home string, props property.Set) string {
-	if props.IsEmpty() {
-		return ""
-	}
-	for v, s := range r.assign {
-		if v == self || s == home {
-			continue
+	out := ""
+	r.pidx.Overlapping(props, func(v string) bool {
+		if v == self {
+			return true
 		}
-		if r.vprops[v].Overlaps(props) {
-			return s
+		if s := r.assign[v]; s != home {
+			out = s
+			return false
 		}
-	}
-	return ""
+		return true
+	})
+	return out
 }
 
 func joinShards(set map[string]bool) string {
@@ -304,17 +306,20 @@ func (r *Router) settle(shard, view string, t wire.Type, props property.Set, pla
 			// duplicate register.
 			delete(r.assign, view)
 			delete(r.vprops, view)
+			r.pidx.Remove(view)
 		}
 	case wire.TUnregister:
 		if !failed {
 			delete(r.assign, view)
 			delete(r.vprops, view)
+			r.pidx.Remove(view)
 		}
 	case wire.TSetProps:
 		if !failed {
 			// Record the new set so future conflict-affinity placements see
 			// it; acquire already refused sets that overlap other shards.
 			r.vprops[view] = props.Clone()
+			r.pidx.Update(view, r.vprops[view])
 		}
 	}
 	r.inflight[shard]--
