@@ -1,0 +1,250 @@
+package main
+
+// The ha experiment (E17): machine-readable micro-benchmarks of the
+// hot-standby replication path. `fleccbench -exp ha -json` writes
+// BENCH_ha.json with the commit-path overhead of semi-synchronous
+// replication (inline and windowed-async sessions vs an unreplicated
+// baseline) plus the standby bootstrap path (snapshot restore + image
+// absorb) — the numbers behind the "replication lag" column of the HA
+// story. Everything runs on the in-process transport so the rows measure
+// protocol cost, not loopback TCP.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"flecc/internal/directory"
+	"flecc/internal/image"
+	"flecc/internal/property"
+	"flecc/internal/transport"
+	"flecc/internal/vclock"
+)
+
+// benchKV is a minimal mutex-guarded codec for the HA benchmarks.
+type benchKV struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+func newBenchKV() *benchKV { return &benchKV{data: map[string][]byte{}} }
+
+func (c *benchKV) Extract(props property.Set) (*image.Image, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	img := image.New(props.Clone())
+	for k, v := range c.data {
+		img.Put(image.Entry{Key: k, Value: v})
+	}
+	return img, nil
+}
+
+func (c *benchKV) Merge(img *image.Image, props property.Set) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range img.Entries {
+		if e.Deleted {
+			delete(c.data, k)
+			continue
+		}
+		c.data[k] = e.Value
+	}
+	return nil
+}
+
+// haPair builds a primary + hot standby on one in-process transport with
+// the given replication session config. The returned cleanup tears the
+// whole pair down.
+func haPair(cfg directory.ReplConfig) (*directory.Manager, *directory.Manager, func(), error) {
+	net := transport.NewInproc()
+	clock := vclock.NewReal()
+	prim, err := directory.New("dm", newBenchKV(), clock, net, directory.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sb, err := directory.New("dmr", newBenchKV(), clock, net, directory.Options{Standby: true})
+	if err != nil {
+		prim.Close()
+		return nil, nil, nil, err
+	}
+	repl, err := prim.StartReplication(cfg, directory.ReplTarget{Name: "dmr"})
+	if err != nil {
+		sb.Close()
+		prim.Close()
+		return nil, nil, nil, err
+	}
+	cleanup := func() {
+		repl.Close()
+		sb.Close()
+		prim.Close()
+	}
+	return prim, sb, cleanup, nil
+}
+
+// benchCommits measures CommitLocal (which barriers on replication when a
+// session is attached) through the given manager.
+func benchCommits(dm *directory.Manager) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			delta := image.New(property.NewSet())
+			delta.Put(image.Entry{Key: fmt.Sprintf("k%d", i%64), Value: []byte("v")})
+			if _, err := dm.CommitLocal(delta, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func haRow(name string, r testing.BenchmarkResult, extra map[string]float64) wireBenchResult {
+	return wireBenchResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Extra:       extra,
+	}
+}
+
+func runHABenchmarks() ([]wireBenchResult, error) {
+	var out []wireBenchResult
+
+	// Baseline: an unreplicated commit (no session, the barrier is free).
+	net := transport.NewInproc()
+	solo, err := directory.New("dm", newBenchKV(), vclock.NewReal(), net, directory.Options{})
+	if err != nil {
+		return nil, err
+	}
+	base := benchCommits(solo)
+	solo.Close()
+	baseNs := float64(base.T.Nanoseconds()) / float64(base.N)
+	out = append(out, haRow("ha_commit/unreplicated", base, nil))
+
+	// Semi-synchronous commit, inline session: the commit ships the batch
+	// and waits for the standby's absorb on the caller's goroutine.
+	overhead := func(r testing.BenchmarkResult) map[string]float64 {
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if baseNs <= 0 {
+			return nil
+		}
+		return map[string]float64{"overhead_x": ns / baseNs}
+	}
+	prim, sb, cleanup, err := haPair(directory.ReplConfig{Inline: true})
+	if err != nil {
+		return nil, err
+	}
+	rInline := benchCommits(prim)
+	if got, want := sb.CurrentVersion(), prim.CurrentVersion(); got != want {
+		cleanup()
+		return nil, fmt.Errorf("inline standby lagging: v%d vs v%d", got, want)
+	}
+	cleanup()
+	out = append(out, haRow("ha_commit/semisync_inline", rInline, overhead(rInline)))
+
+	// Semi-synchronous commit, async sender with a windowed pipeline: the
+	// barrier overlaps with the sender goroutine shipping batches.
+	prim, sb, cleanup, err = haPair(directory.ReplConfig{Window: 4, AckTimeout: 10 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	rAsync := benchCommits(prim)
+	lag := float64(prim.CurrentVersion() - sb.CurrentVersion())
+	cleanup()
+	extra := overhead(rAsync)
+	if extra == nil {
+		extra = map[string]float64{}
+	}
+	// The barrier makes every acked commit standby-visible; a non-zero
+	// value here would mean acked state only the primary had.
+	extra["lag_after_last_ack"] = lag
+	out = append(out, haRow("ha_commit/async_w4", rAsync, extra))
+
+	// Standby bootstrap: restore a 1k-key snapshot and absorb the primary
+	// image — the cold-start catch-up a fresh standby pays before the
+	// stream goes incremental.
+	seed := newBenchKV()
+	st := directory.NewStore(seed, vclock.NewReal())
+	for i := 0; i < 1024; i++ {
+		delta := image.New(property.NewSet())
+		delta.Put(image.Entry{Key: fmt.Sprintf("k%04d", i), Value: []byte("NYC|SFO|200|57|19900")})
+		if _, _, _, err := st.Commit("v1", delta, 1); err != nil {
+			return nil, err
+		}
+	}
+	snap := st.Snapshot()
+	img, err := st.Extract(property.NewSet(), 0)
+	if err != nil {
+		return nil, err
+	}
+	rBoot := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cold := directory.NewStore(newBenchKV(), vclock.NewReal())
+			if err := cold.Restore(snap); err != nil {
+				b.Fatal(err)
+			}
+			if err := cold.AbsorbImage(img); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out = append(out, haRow("ha_bootstrap/restore_absorb_1k", rBoot, map[string]float64{
+		"keys": 1024,
+	}))
+
+	// Snapshot capture on a loaded primary: what the sender pays to open
+	// a stream (or re-open one after a gap refusal).
+	rCap := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s := st.Snapshot(); s == nil {
+				b.Fatal("nil snapshot")
+			}
+		}
+	})
+	out = append(out, haRow("ha_capture/snapshot_1k", rCap, nil))
+
+	return out, nil
+}
+
+// runHA executes the HA benchmark set; with jsonOut non-empty the report
+// is written there as JSON (BENCH_ha.json by default), otherwise a text
+// table goes to stdout.
+func runHA(jsonOut string) error {
+	rows, err := runHABenchmarks()
+	if err != nil {
+		return err
+	}
+	report := wireBenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Results:   rows,
+	}
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", jsonOut, len(report.Results))
+		return nil
+	}
+	fmt.Printf("%-34s %12s %12s %12s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+	for _, r := range report.Results {
+		fmt.Printf("%-34s %12.1f %12d %12d", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		for k, v := range r.Extra {
+			fmt.Printf("  %s=%.4f", k, v)
+		}
+		fmt.Println()
+	}
+	return nil
+}

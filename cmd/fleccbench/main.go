@@ -12,6 +12,7 @@
 //	fleccbench -exp ablation-peer       # E7: centralized vs decentralized
 //	fleccbench -exp wire                # E13: wire-path micro-benchmarks
 //	fleccbench -exp conflict            # E16: conflict-index micro-benchmarks
+//	fleccbench -exp ha                  # E17: hot-standby replication micro-benchmarks
 //	fleccbench -exp all                 # everything
 //
 // Figure parameters can be scaled with -agents/-ops; the defaults are the
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4, fig5, fig6, ablation-conflict, ablation-rw, ablation-peer, ablation-propagation, buyermix, wire, conflict, all")
+		exp     = flag.String("exp", "all", "experiment: fig4, fig5, fig6, ablation-conflict, ablation-rw, ablation-peer, ablation-propagation, buyermix, wire, conflict, ha, all")
 		agents  = flag.Int("agents", 0, "override agent count (0 = paper default); for -exp conflict, caps the largest view-table size")
 		ops     = flag.Int("ops", 0, "override per-agent/per-phase op count (0 = paper default)")
 		check   = flag.Bool("check", true, "verify the qualitative shape of each result")
@@ -80,8 +81,10 @@ func run(exp string, agents, ops int, check, jsonOut bool, out string) error {
 		return runWire(benchDest(jsonOut, out, "BENCH_wire.json"))
 	case "conflict":
 		return runConflict(benchDest(jsonOut, out, "BENCH_conflict.json"), agents)
+	case "ha":
+		return runHA(benchDest(jsonOut, out, "BENCH_ha.json"))
 	case "all":
-		for _, e := range []string{"fig4", "fig5", "fig6", "ablation-conflict", "ablation-rw", "ablation-peer", "ablation-propagation", "buyermix", "wire", "conflict"} {
+		for _, e := range []string{"fig4", "fig5", "fig6", "ablation-conflict", "ablation-rw", "ablation-peer", "ablation-propagation", "buyermix", "wire", "conflict", "ha"} {
 			if err := run(e, agents, ops, check, jsonOut, out); err != nil {
 				return err
 			}

@@ -12,6 +12,7 @@
 //	fleccck -depth 5 -writes 1               # shallower / cheaper
 //	fleccck -drop 7                          # drop the 7th request of every replay
 //	fleccck -pipeline=false                  # disable the push-async/flush session actions
+//	fleccck -failover=false                  # disable crash-primary/promote-standby
 //	fleccck -skip-invalidate v2              # seed the known mutation (must FAIL)
 //
 // Exit status 0 means every invariant held over the explored space; 1
@@ -38,6 +39,7 @@ func main() {
 		validity  = flag.String("validity", def.Validity, "validity trigger registered by every view")
 		propagate = flag.Bool("propagate", false, "use push-based update propagation")
 		migrate   = flag.Bool("migrate", def.Migrate, "enable the dm!a → dm!b migration reconfiguration")
+		failover  = flag.Bool("failover", def.Failover, "enable hot-standby replication with crash-primary/promote-standby")
 		crash     = flag.Bool("crash", def.Crash, "enable crash/revive reconfigurations")
 		modes     = flag.Bool("modes", def.SetModes, "enable mode-switch reconfigurations")
 		props     = flag.Bool("props", def.SetProps, "enable property-change reconfigurations")
@@ -58,6 +60,7 @@ func main() {
 		Validity:        *validity,
 		PropagateOnPush: *propagate,
 		Migrate:         *migrate,
+		Failover:        *failover,
 		Crash:           *crash,
 		SetModes:        *modes,
 		SetProps:        *props,

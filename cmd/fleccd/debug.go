@@ -61,6 +61,20 @@ func newObservability(name string, tnet transport.Network, d *deployment) *obser
 	}
 	if d.dm != nil {
 		registerDM("", d.dm)
+		o.reg.RegisterGauge("repl_lag", func() int64 { return int64(d.dm.ReplLag()) })
+		o.reg.RegisterGauge("ha_epoch", func() int64 { return int64(d.dm.Epoch()) })
+		o.reg.RegisterGauge("ha_standby", func() int64 {
+			if d.dm.Standby() {
+				return 1
+			}
+			return 0
+		})
+		o.reg.RegisterGauge("ha_fenced", func() int64 {
+			if d.dm.Fenced() {
+				return 1
+			}
+			return 0
+		})
 	} else {
 		for i := 0; i < d.svc.NumShards(); i++ {
 			registerDM(fmt.Sprintf("%s.", shard.Node(d.svc.Name(), i)), d.svc.Shard(i))

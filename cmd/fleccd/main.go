@@ -21,7 +21,9 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"flecc/internal/airline"
@@ -51,10 +53,14 @@ func main() {
 		fanOut       = flag.Int("fanout", 0, "max concurrent views contacted per invalidate/gather/propagate round (0 = directory default, 1 = serial)")
 		compactEvery = flag.Duration("compact-every", 0, "update-log compaction interval (0 disables)")
 		debugAddr    = flag.String("debug-addr", "", "serve observability HTTP on this address: /metrics (text or ?format=json), /trace, /spans, /debug/pprof (empty disables)")
+		standby      = flag.Bool("standby", false, "run as a hot standby: refuse client traffic until promoted (pair with a primary's -replicate-to; single-DM mode)")
+		replicateTo  = flag.String("replicate-to", "", "stream replication to the standby fleccd at this address (single-DM mode)")
+		haLease      = flag.Duration("ha-lease", 2*time.Second, "HA lease: a standby silent past this self-promotes; a primary unable to reach its standby past this fences itself")
 	)
 	flag.Parse()
 	if err := run(*addr, *name, *flights, *capacity, *shards, *interval, *key, *ckptPath, *ckptEvery,
-		faultOpts{drop: *faultDrop, delay: *faultDelay, seed: *faultSeed}, *fanOut, *compactEvery, *debugAddr); err != nil {
+		faultOpts{drop: *faultDrop, delay: *faultDelay, seed: *faultSeed}, *fanOut, *compactEvery, *debugAddr,
+		haOpts{standby: *standby, replicateTo: *replicateTo, lease: *haLease}); err != nil {
 		fmt.Fprintln(os.Stderr, "fleccd:", err)
 		os.Exit(1)
 	}
@@ -69,9 +75,18 @@ type faultOpts struct {
 
 func (f faultOpts) enabled() bool { return f.drop > 0 || f.delay > 0 }
 
-func run(addr, name string, flights, capacity, shards int, statusEvery time.Duration, key, ckptPath string, ckptEvery time.Duration, faults faultOpts, fanOut int, compactEvery time.Duration, debugAddr string) error {
+func run(addr, name string, flights, capacity, shards int, statusEvery time.Duration, key, ckptPath string, ckptEvery time.Duration, faults faultOpts, fanOut int, compactEvery time.Duration, debugAddr string, ha haOpts) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1")
+	}
+	if ha.enabled() && shards != 1 {
+		return fmt.Errorf("-standby/-replicate-to require -shards 1 (per-shard standby daemons are not wired up)")
+	}
+	if ha.standby && ha.replicateTo != "" {
+		return fmt.Errorf("-standby and -replicate-to are mutually exclusive (no chained replication)")
+	}
+	if ha.enabled() && ha.lease <= 0 {
+		return fmt.Errorf("-ha-lease must be > 0")
 	}
 	db := airline.NewReservationSystem()
 	airline.SeedFlights(db, 100, flights, capacity)
@@ -101,6 +116,9 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 	retry := transport.RetryPolicy{Jitter: 0.2, Rand: transport.NewRand(faults.seed)}
 	opts := directory.Options{Resolver: airline.SeatResolver, FanOut: fanOut, Retry: retry}
 
+	if ha.standby {
+		opts.Standby = true
+	}
 	d, err := newDeployment(name, db, tnet, shards, opts, ckptPath)
 	if err != nil {
 		return err
@@ -111,7 +129,21 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 	if d.svc != nil {
 		d.svc.Router().SetRetryPolicy(retry)
 	}
-	log.Printf("fleccd: directory %q (%d shard(s)) serving %d flights on %s", name, shards, flights, ln.Addr())
+	role := "primary"
+	if ha.standby {
+		role = "hot standby (client traffic gated until promotion)"
+	}
+	log.Printf("fleccd: directory %q (%d shard(s), %s) serving %d flights on %s", name, shards, role, flights, ln.Addr())
+
+	var repl *directory.Replicator
+	if ha.replicateTo != "" {
+		var stopRepl func()
+		repl, stopRepl, err = startDaemonReplication(d.dm, name, ha.replicateTo, key, ha, retry)
+		if err != nil {
+			return err
+		}
+		defer stopRepl()
+	}
 
 	if debugAddr != "" {
 		obs := newObservability(name, tnet, d)
@@ -133,13 +165,21 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 				log.Printf("fleccd: snapshot: %v", err)
 				continue
 			}
+			// Write-sync-rename-sync: the blob is durable before the rename
+			// publishes it, and the rename itself is durable once the
+			// directory entry is synced. A crash at any point leaves either
+			// the old checkpoint or the new one — never a torn file.
 			tmp := c.path + ".tmp"
-			if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+			if err := writeFileSync(tmp, blob); err != nil {
 				log.Printf("fleccd: checkpoint: %v", err)
 				continue
 			}
 			if err := os.Rename(tmp, c.path); err != nil {
 				log.Printf("fleccd: checkpoint: %v", err)
+				continue
+			}
+			if err := syncDir(c.path); err != nil {
+				log.Printf("fleccd: checkpoint: sync dir: %v", err)
 			}
 		}
 	}
@@ -151,7 +191,10 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 	}
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	// SIGTERM is what init systems and container runtimes send; without it
+	// a `docker stop` or systemd shutdown killed the daemon before the
+	// final checkpoint below could run.
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
@@ -166,6 +209,13 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 		defer t.Stop()
 		compactTick = t.C
 	}
+	var haTickC <-chan time.Time
+	if ha.enabled() {
+		t, c := haTicker(ha)
+		defer t.Stop()
+		haTickC = c
+	}
+	wasFenced, wasStandby := false, ha.standby
 	for {
 		select {
 		case <-stop:
@@ -174,6 +224,10 @@ func run(addr, name string, flights, capacity, shards int, statusEvery time.Dura
 			return nil
 		case <-ckptTick:
 			checkpoint()
+		case <-haTickC:
+			if msg := haTick(d.dm, repl, ha, &wasFenced, &wasStandby); msg != "" {
+				log.Printf("fleccd: %s", msg)
+			}
 		case <-compactTick:
 			if n := d.compact(); n > 0 {
 				log.Printf("fleccd: compacted %d update-log records", n)
@@ -267,8 +321,12 @@ func shardCheckpointPath(base string, i int) string {
 	return fmt.Sprintf("%s.s%d", base, i)
 }
 
-// readCheckpoint loads a snapshot file; a missing file is not an error
-// (cold start).
+// readCheckpoint loads a snapshot file. A missing file is not an error
+// (cold start), and neither is a corrupt one: a blob that fails to decode
+// — a torn write from a pre-fsync crash, a truncated disk — is loudly
+// logged and treated as cold start, because refusing to boot over a
+// checkpoint that exists only as an optimization would turn a recoverable
+// restart into an outage.
 func readCheckpoint(path string) (*directory.Snapshot, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -279,9 +337,41 @@ func readCheckpoint(path string) (*directory.Snapshot, error) {
 	}
 	snap, err := directory.DecodeSnapshot(blob)
 	if err != nil {
-		return nil, fmt.Errorf("restore %s: %w", path, err)
+		log.Printf("fleccd: CHECKPOINT CORRUPT: %s failed to decode (%v); discarding it and starting cold", path, err)
+		return nil, nil
 	}
 	return snap, nil
+}
+
+// writeFileSync writes blob to path and fsyncs it before returning.
+func writeFileSync(path string, blob []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs the directory containing path, making a just-renamed
+// entry durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 func (d *deployment) checkpoints() []checkpointUnit {

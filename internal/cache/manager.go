@@ -75,6 +75,12 @@ type Config struct {
 	// Nil keeps the historical behavior: transport errors surface to the
 	// caller.
 	Reconnect *ReconnectPolicy
+	// Fallbacks are alternative networks the reconnect cycle rotates
+	// through when the primary stops answering — the HA deployment lists
+	// the standby daemon's dial network here, so a failed-over client
+	// re-dials the promoted standby without operator action. Each entry
+	// must host a node answering to Directory. Ignored without Reconnect.
+	Fallbacks []transport.Network
 	// Window, if > 0, bounds the in-flight pipelined requests on the
 	// CM↔DM link (transport.WindowSetter); it is re-applied to every
 	// endpoint a reconnect cycle dials. 0 leaves the link unbounded.
@@ -95,7 +101,10 @@ type Manager struct {
 	vars  trigger.Env
 	clock vclock.Clock
 	op    wire.OpClass
-	net   transport.Network
+	// nets holds the primary network followed by Config.Fallbacks; netIdx
+	// (guarded by recon.mu) points at the one the current endpoint dialed.
+	nets   []transport.Network
+	netIdx int
 	// trigSrc keeps the trigger sources for re-registration.
 	trigSrc wire.Triggers
 	// recon, when non-nil, drives the reconnect cycle (reconnect.go).
@@ -159,7 +168,7 @@ func New(cfg Config) (*Manager, error) {
 		vars:  cfg.Vars,
 		clock: cfg.Clock,
 		op:    cfg.Op,
-		net:   cfg.Net,
+		nets:  append([]transport.Network{cfg.Net}, cfg.Fallbacks...),
 		trigSrc: wire.Triggers{
 			Push:     cfg.PushTrigger,
 			Pull:     cfg.PullTrigger,

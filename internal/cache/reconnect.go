@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -110,6 +111,16 @@ func (rc *reconnector) pause(attempt int) {
 	time.Sleep(d)
 }
 
+// redialable reports whether a failed CM→DM call should trigger a
+// reconnect cycle: any transport-level failure, or a remote "not
+// serving" refusal — the directory node answered but is a standby (or a
+// fenced ex-primary), so the client should rotate toward the promoted
+// node rather than surface the refusal.
+func redialable(err error) bool {
+	return transport.IsTransportError(err) ||
+		strings.Contains(err.Error(), wire.NotServingMark)
+}
+
 // call issues a CM→DM request through the current endpoint, transparently
 // running reconnect cycles on transport-level failures when a policy is
 // configured. Remote protocol errors always surface immediately.
@@ -117,7 +128,7 @@ func (m *Manager) call(req *wire.Message) (*wire.Message, error) {
 	for attempt := 1; ; attempt++ {
 		ep := m.endpoint()
 		reply, err := ep.Call(m.dir, req)
-		if err == nil || !transport.IsTransportError(err) || m.recon == nil {
+		if err == nil || m.recon == nil || !redialable(err) {
 			return reply, err
 		}
 		if attempt >= m.recon.pol.Attempts {
@@ -156,18 +167,22 @@ func (m *Manager) redial(old transport.Endpoint, attempt int) error {
 	old.Close()
 
 	rc.pause(attempt)
-	ep, err := m.net.Attach(m.name, m.handle)
+	ep, err := m.nets[m.netIdx].Attach(m.name, m.handle)
 	if err != nil {
 		// The old attachment may not have unwound yet (e.g. a server-side
 		// peer that has not noticed the close); surface as a transport
-		// failure so the next cycle tries again.
+		// failure so the next cycle tries again — on the next network when
+		// fallbacks are configured, so a dead primary daemon eventually
+		// rotates the client onto its promoted standby.
+		m.netIdx = (m.netIdx + 1) % len(m.nets)
 		return nil
 	}
 	if _, err := ep.Call(m.dir, m.registerMsg()); err != nil {
 		ep.Close()
-		if !transport.IsTransportError(err) {
+		if !redialable(err) {
 			return fmt.Errorf("cache %s: re-register: %w", m.name, err)
 		}
+		m.netIdx = (m.netIdx + 1) % len(m.nets)
 		return nil // transient: next cycle retries
 	}
 	// Refresh before resuming: pull everything committed while we were
@@ -182,9 +197,10 @@ func (m *Manager) redial(old transport.Endpoint, attempt int) error {
 		reply, err := ep.Call(m.dir, &wire.Message{Type: wire.TPull, Since: since, Op: m.op})
 		if err != nil {
 			ep.Close()
-			if !transport.IsTransportError(err) {
+			if !redialable(err) {
 				return fmt.Errorf("cache %s: re-pull: %w", m.name, err)
 			}
+			m.netIdx = (m.netIdx + 1) % len(m.nets)
 			return nil
 		}
 		m.mu.Lock()

@@ -204,9 +204,12 @@ func (m *Manager) completeRound(r *pushRound, delta, cur *image.Image, reply *wi
 		return // a session reset got here first
 	}
 	if err != nil {
-		if transport.IsTransportError(err) {
-			// This round already left the inflight slot above, so fail it
-			// explicitly, then reset the rest of the session.
+		if redialable(err) {
+			// A dead link or a "not serving" refusal from a deposed
+			// primary: this round already left the inflight slot above, so
+			// fail it explicitly, then reset the rest of the session. The
+			// writes stay pending locally and the next synchronous call's
+			// reconnect cycle re-dials toward the promoted standby.
 			m.resolveRoundLocked(r, fmt.Errorf("cache %s: %w (%v)", m.name, ErrSessionReset, err))
 			m.failSessionLocked(err)
 		} else {

@@ -52,8 +52,17 @@ type Options struct {
 	Handler func(req *wire.Message) *wire.Message
 	// Snapshot, if non-nil, restores a failed directory manager's
 	// protocol metadata into this (standby) instance before it starts
-	// serving — the fail-safe mechanism sketched in §4.1.
+	// serving — the fail-safe mechanism sketched in §4.1. A snapshot
+	// carrying view-registration state (Manager.CaptureSnapshot) also
+	// reinstalls the views, so cache managers resume without
+	// re-register/re-pull.
 	Snapshot *Snapshot
+	// Standby starts the manager gating client traffic: it absorbs
+	// replication batches (and migration handovers) but refuses CM
+	// requests until promoted (replicate.go). Deployments run hot
+	// standbys with this set; the shard router's serving replicas leave
+	// it unset.
+	Standby bool
 	// Retry bounds the retry-with-backoff the manager applies to its own
 	// outbound calls (invalidate, fetch, update) before declaring the
 	// target view unreachable and evicting it. The zero value uses the
@@ -111,6 +120,11 @@ type Manager struct {
 
 	mu    sync.Mutex
 	views map[string]*viewState
+
+	// ha is the hot-standby replication state (replicate.go): role,
+	// fencing epoch, attached replicator, and the batch-visible state
+	// generation every mutating handler bumps.
+	ha haState
 }
 
 // New creates a directory manager named name around the original
@@ -136,6 +150,17 @@ func New(name string, primary image.Codec, clock vclock.Clock, net transport.Net
 		if err := m.store.Restore(opts.Snapshot); err != nil {
 			return nil, err
 		}
+		if err := m.installViews(opts.Snapshot.Views); err != nil {
+			return nil, err
+		}
+	}
+	// A fresh standby's silence clock stays unarmed until the first
+	// replication batch arrives: before it has heard from a primary there
+	// is nothing to take over, and the pair boots standby-first (the
+	// primary dials it), so counting from construction would self-promote
+	// the standby right past the lease and depose the arriving primary.
+	if opts.Standby {
+		m.ha.standby = true
 	}
 	ep, err := net.Attach(name, m.handle)
 	if err != nil {
@@ -213,13 +238,16 @@ func (m *Manager) handle(req *wire.Message) *wire.Message {
 			return reply
 		}
 	}
+	if reply := m.haGate(req); reply != nil {
+		return reply
+	}
 	// A message from a lost view proves its cache manager is alive again
 	// (the eviction was a false positive, or the CM reconnected without
 	// needing to re-register): clear the tombstone so the view rejoins
-	// conflict accounting. Register has its own revival path; routed and
-	// migration envelopes are not CM-originated.
+	// conflict accounting. Register has its own revival path; routed,
+	// migration, and replication envelopes are not CM-originated.
 	switch req.Type {
-	case wire.TRegister, wire.TRouted, wire.TMigrateTake, wire.TMigrateApply:
+	case wire.TRegister, wire.TRouted, wire.TMigrateTake, wire.TMigrateApply, wire.TReplicate:
 	default:
 		if req.From != "" && m.reg.Lost(req.From) {
 			m.reg.SetLost(req.From, false)
@@ -246,6 +274,8 @@ func (m *Manager) handle(req *wire.Message) *wire.Message {
 		return m.handleMigrateTake(req)
 	case wire.TMigrateApply:
 		return m.handleMigrateApply(req)
+	case wire.TReplicate:
+		return m.handleReplicate(req)
 	default:
 		return errf("directory %s: unexpected message %s", m.name, req.Type)
 	}
@@ -273,7 +303,7 @@ func (m *Manager) handleRegister(req *wire.Message) *wire.Message {
 	m.mu.Lock()
 	m.views[view] = &viewState{name: view, mode: req.Mode, validity: val, lastOp: req.Op}
 	m.mu.Unlock()
-	return &wire.Message{Type: wire.TAck, Version: m.store.Current()}
+	return m.synced(&wire.Message{Type: wire.TAck, Version: m.store.Current()})
 }
 
 // reRegister handles a register for a name that is already on the books.
@@ -293,7 +323,7 @@ func (m *Manager) reRegister(view string, req *wire.Message, val trigger.Trigger
 		vs.lastOp = req.Op
 		m.mu.Unlock()
 		m.reg.SetLost(view, false)
-		return &wire.Message{Type: wire.TAck, Version: m.store.Current()}
+		return m.synced(&wire.Message{Type: wire.TAck, Version: m.store.Current()})
 	}
 	m.mu.Unlock()
 	if !m.reg.Lost(view) {
@@ -308,7 +338,7 @@ func (m *Manager) reRegister(view string, req *wire.Message, val trigger.Trigger
 	m.mu.Lock()
 	m.views[view] = &viewState{name: view, mode: req.Mode, validity: val, lastOp: req.Op}
 	m.mu.Unlock()
-	return &wire.Message{Type: wire.TAck, Version: m.store.Current()}
+	return m.synced(&wire.Message{Type: wire.TAck, Version: m.store.Current()})
 }
 
 func (m *Manager) handleUnregister(req *wire.Message) *wire.Message {
@@ -317,7 +347,7 @@ func (m *Manager) handleUnregister(req *wire.Message) *wire.Message {
 	m.mu.Lock()
 	delete(m.views, view)
 	m.mu.Unlock()
-	return &wire.Message{Type: wire.TAck}
+	return m.synced(&wire.Message{Type: wire.TAck})
 }
 
 func (m *Manager) viewState(view string) (*viewState, bool) {
@@ -342,7 +372,7 @@ func (m *Manager) handleInit(req *wire.Message) *wire.Message {
 	vs.seen = img.Version
 	m.mu.Unlock()
 	m.reg.SetActive(view, true)
-	return &wire.Message{Type: wire.TImage, Img: img, Version: img.Version}
+	return m.synced(&wire.Message{Type: wire.TImage, Img: img, Version: img.Version})
 }
 
 // handlePull is the heart of the protocol (paper Figure 2). Serving a pull
@@ -433,7 +463,10 @@ func (m *Manager) handlePull(req *wire.Message) *wire.Message {
 	vs.seen = img.Version
 	m.mu.Unlock()
 	m.reg.SetActive(view, true)
-	return &wire.Message{Type: wire.TImage, Img: img, Version: img.Version}
+	// One barrier covers the whole pull: the gathered/invalidated commits
+	// above and the registration-state changes land on the standbys
+	// before the requester sees its image.
+	return m.synced(&wire.Message{Type: wire.TImage, Img: img, Version: img.Version})
 }
 
 // conflictSet returns the views whose data overlaps the given view's,
@@ -644,8 +677,10 @@ func (m *Manager) handlePush(req *wire.Message) *wire.Message {
 		}
 	}
 	// The ack carries the winning values for any entries the resolver
-	// rejected, so the pusher converges on the resolved state.
-	return &wire.Message{Type: wire.TAck, Version: ver, Img: rejected}
+	// rejected, so the pusher converges on the resolved state. The
+	// replication barrier runs before the ack is released: an
+	// acknowledged push is on every live standby (semi-sync commit).
+	return m.synced(&wire.Message{Type: wire.TAck, Version: ver, Img: rejected})
 }
 
 // propagate forwards a freshly committed update to every conflicting
@@ -730,14 +765,14 @@ func (m *Manager) handleSetMode(req *wire.Message) *wire.Message {
 	m.mu.Lock()
 	vs.mode = req.Mode
 	m.mu.Unlock()
-	return &wire.Message{Type: wire.TAck}
+	return m.synced(&wire.Message{Type: wire.TAck})
 }
 
 func (m *Manager) handleSetProps(req *wire.Message) *wire.Message {
 	if err := m.reg.SetProps(req.From, req.Props); err != nil {
 		return errf("%v", err)
 	}
-	return &wire.Message{Type: wire.TAck}
+	return m.synced(&wire.Message{Type: wire.TAck})
 }
 
 // CompactLog drops update-log records that every registered view has
@@ -834,9 +869,13 @@ func (m *Manager) SeedStatic(a, b string, rel registry.Relation) {
 
 // CommitLocal lets the original component itself commit an update (e.g. an
 // administrative change to the primary data). It is also used by tests.
+// Like pushed commits, it barriers on replication before returning.
 func (m *Manager) CommitLocal(delta *image.Image, ops int) (vclock.Version, error) {
 	v, _, _, err := m.store.Commit("", delta, ops)
-	return v, err
+	if err != nil {
+		return v, err
+	}
+	return v, m.replBarrier()
 }
 
 // ExtractPrimary snapshots the primary for the given properties (tests and

@@ -100,7 +100,14 @@ func (m *Manager) AbsorbHandover(h *Handover) error {
 	if err := m.store.Absorb(h.Snap); err != nil {
 		return err
 	}
-	for _, hv := range h.Views {
+	return m.installViews(h.Views)
+}
+
+// installViews registers the carried per-view records with their previous
+// mode, seen version, and triggers. Shared by handover absorption,
+// snapshot restore, and hot-standby replication.
+func (m *Manager) installViews(views []HandoverView) error {
+	for _, hv := range views {
 		val, err := trigger.Compile(hv.Validity)
 		if err != nil {
 			return fmt.Errorf("directory %s: handover validity trigger for %s: %v", m.name, hv.Name, err)
@@ -157,9 +164,7 @@ func (s *Store) Absorb(snap *Snapshot) error {
 	merged = append(merged, s.log[i:]...)
 	merged = append(merged, snap.Log[j:]...)
 	s.log = merged
-	for s.counter.Current() < snap.Version {
-		s.counter.Next()
-	}
+	s.counter.AdvanceTo(snap.Version)
 	s.rebuildDirtyLocked()
 	s.gen++
 	return nil
@@ -235,7 +240,7 @@ func (m *Manager) handleMigrateTake(req *wire.Message) *wire.Message {
 	if err != nil {
 		return errf("%v", err)
 	}
-	return &wire.Message{Type: wire.TAck, Version: m.store.Current(), Blob: blob}
+	return m.synced(&wire.Message{Type: wire.TAck, Version: m.store.Current(), Blob: blob})
 }
 
 func (m *Manager) handleMigrateApply(req *wire.Message) *wire.Message {
@@ -246,5 +251,5 @@ func (m *Manager) handleMigrateApply(req *wire.Message) *wire.Message {
 	if err := m.AbsorbHandover(h); err != nil {
 		return errf("%v", err)
 	}
-	return &wire.Message{Type: wire.TAck, Version: m.store.Current()}
+	return m.synced(&wire.Message{Type: wire.TAck, Version: m.store.Current()})
 }

@@ -1,0 +1,857 @@
+package directory
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"flecc/internal/image"
+	"flecc/internal/metrics"
+	"flecc/internal/property"
+	"flecc/internal/transport"
+	"flecc/internal/vclock"
+	"flecc/internal/wire"
+)
+
+// Hot-standby replication (the HA half of §4.1's "fail-safe mechanisms
+// can be implemented"): a primary directory manager streams its commits —
+// protocol metadata, primary values, and view-registration state — to one
+// or more standbys over a TReplicate/TReplAck session, so a standby can
+// take over without losing acknowledged commits and without forcing every
+// cache manager through re-register/re-pull.
+//
+// The scheme is semi-synchronous group commit with gap/rewind shipping
+// and epoch fencing:
+//
+//   - Every state-mutating request barriers on the replicator before its
+//     ack is released: nothing a client can observe escapes the primary
+//     unreplicated. A standby that stops answering is degraded
+//     (availability over replication) and the degradation is counted.
+//   - Batches are deltas since the standby's acknowledged watermark,
+//     shipped through CallAsync windowed pipelining so several batches
+//     overlap one RTT. The ack carries the standby's honest watermark: a
+//     low ack rewinds the sender, and the standby refuses batches whose
+//     Since it has not reached, so a lost batch leaves no hole — only a
+//     resend, which Absorb's merge semantics make idempotent.
+//   - Every batch carries the sender's epoch. Promotion installs a higher
+//     epoch; a receiver refuses lower-epoch batches ("stale epoch"), and
+//     a deposed primary that sees that refusal fences itself — it stops
+//     serving rather than split-brain.
+//
+// Promotion itself travels as a ReplBatch with Promote set, so the wire
+// surface stays exactly the TReplicate/TReplAck pair.
+
+// ReplBatch is the unit of primary→standby log shipping, carried
+// gob-encoded in a TReplicate message's Blob.
+type ReplBatch struct {
+	// Epoch is the sender's fencing epoch. Receivers refuse batches from
+	// an older epoch; promotion installs a higher one.
+	Epoch uint64
+	// Since is the watermark this delta starts after: the batch carries
+	// everything committed in (Since, Snap.Version]. A receiver whose own
+	// watermark is below Since refuses the batch (a hole would otherwise
+	// open) and reports its honest watermark in the ack.
+	Since vclock.Version
+	// Snap is the metadata delta: shadow records and log tail after
+	// Since, plus the primary's full view-registration state in Views.
+	// Nil for a promote-only batch.
+	Snap *Snapshot
+	// Img carries the primary values committed after Since, so a standby
+	// replicates application data as well as metadata. Nil when Snap is.
+	Img *image.Image
+	// Promote orders the receiver to take over as primary under Epoch.
+	Promote bool
+}
+
+// EncodeReplBatch serializes a batch (gob).
+func EncodeReplBatch(b *ReplBatch) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		return nil, fmt.Errorf("directory: encode repl batch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeReplBatch parses EncodeReplBatch's output.
+func DecodeReplBatch(data []byte) (*ReplBatch, error) {
+	var b ReplBatch
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&b); err != nil {
+		return nil, fmt.Errorf("directory: decode repl batch: %w", err)
+	}
+	return &b, nil
+}
+
+// ReplMessage wraps a batch in its TReplicate envelope.
+func ReplMessage(b *ReplBatch) (*wire.Message, error) {
+	blob, err := EncodeReplBatch(b)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Message{Type: wire.TReplicate, Blob: blob}, nil
+}
+
+// PromoteMessage builds the promote-only TReplicate a coordinator (the
+// shard router, or an operator tool) sends to a standby to make it
+// primary under the given epoch.
+func PromoteMessage(epoch uint64) (*wire.Message, error) {
+	return ReplMessage(&ReplBatch{Epoch: epoch, Promote: true})
+}
+
+// staleEpochMark is the substring a stale-epoch refusal carries; a
+// deposed primary recognizes it in the remote error and fences itself.
+const staleEpochMark = "stale epoch"
+
+// SnapshotSince captures the metadata committed strictly after since:
+// shadow records newer than since (sorted by key, so encodings are
+// deterministic) and the log tail. SnapshotSince(0) is a full snapshot.
+func (s *Store) SnapshotSince(since vclock.Version) *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := &Snapshot{Version: s.counter.Current()}
+	for k, sh := range s.shadow {
+		if sh.version > since {
+			snap.Shadow = append(snap.Shadow, ShadowRec{
+				Key: k, Version: sh.version, Writer: sh.writer, Deleted: sh.deleted,
+			})
+		}
+	}
+	sort.Slice(snap.Shadow, func(i, j int) bool { return snap.Shadow[i].Key < snap.Shadow[j].Key })
+	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].Version > since })
+	snap.Log = append([]UpdateRec(nil), s.log[i:]...)
+	return snap
+}
+
+// AbsorbImage merges replicated primary values into the original
+// component's codec without issuing new versions — the entries keep the
+// version/writer stamps the primary committed them under.
+func (s *Store) AbsorbImage(img *image.Image) error {
+	if img == nil || img.Len() == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.primary.Merge(img, img.Props); err != nil {
+		return fmt.Errorf("directory: absorb image: %w", err)
+	}
+	s.gen++
+	return nil
+}
+
+// haState is the manager's hot-standby bookkeeping: its fencing epoch,
+// whether it is gating client traffic (standby) or refusing everything
+// (fenced ex-primary), the attached replicator when it is a replicating
+// primary, and a generation counter covering every batch-visible state
+// change (commits and registration-state updates alike).
+type haState struct {
+	mu       sync.Mutex
+	repl     *Replicator
+	standby  bool
+	fenced   bool
+	epoch    uint64
+	gen      uint64
+	lastRepl vclock.Time
+	haveRepl bool // lastRepl is meaningful
+}
+
+// Epoch returns the manager's current fencing epoch.
+func (m *Manager) Epoch() uint64 {
+	m.ha.mu.Lock()
+	defer m.ha.mu.Unlock()
+	return m.ha.epoch
+}
+
+// Standby reports whether the manager is gating client traffic, waiting
+// for promotion.
+func (m *Manager) Standby() bool {
+	m.ha.mu.Lock()
+	defer m.ha.mu.Unlock()
+	return m.ha.standby
+}
+
+// Fenced reports whether the manager has fenced itself after being
+// deposed by a higher epoch.
+func (m *Manager) Fenced() bool {
+	m.ha.mu.Lock()
+	defer m.ha.mu.Unlock()
+	return m.ha.fenced
+}
+
+// PromoteSelf makes a standby take over as primary under a fresh epoch
+// (lease-lapse self-promotion in deployments without a router
+// coordinating the failover). It returns the new epoch.
+func (m *Manager) PromoteSelf() uint64 {
+	m.ha.mu.Lock()
+	defer m.ha.mu.Unlock()
+	m.ha.epoch++
+	m.ha.standby = false
+	m.ha.fenced = false
+	return m.ha.epoch
+}
+
+// StandbySilence returns how long ago the last replication batch arrived
+// (0 while none has arrived yet — an unfed standby never counts silence,
+// so it cannot self-promote before a primary has ever reached it). A
+// standby whose silence exceeds the primary's lease may self-promote.
+func (m *Manager) StandbySilence() vclock.Duration {
+	m.ha.mu.Lock()
+	defer m.ha.mu.Unlock()
+	if !m.ha.haveRepl {
+		return 0
+	}
+	return m.clock.Now() - m.ha.lastRepl
+}
+
+// haGen returns the current batch-visible state generation.
+func (m *Manager) haGen() uint64 {
+	m.ha.mu.Lock()
+	defer m.ha.mu.Unlock()
+	return m.ha.gen
+}
+
+// replBarrier is called at the end of every state-mutating handler: it
+// bumps the state generation and, when a replicator is attached, blocks
+// until every live standby has absorbed a batch at least that fresh.
+// Without a replicator it is free.
+func (m *Manager) replBarrier() error {
+	m.ha.mu.Lock()
+	m.ha.gen++
+	g := m.ha.gen
+	r := m.ha.repl
+	m.ha.mu.Unlock()
+	if r == nil {
+		return nil
+	}
+	return r.WaitSynced(g)
+}
+
+// synced finalizes a mutating handler: it barriers on replication —
+// nothing a client can observe escapes the primary unreplicated — and
+// converts a barrier failure into the handler's error reply.
+func (m *Manager) synced(reply *wire.Message) *wire.Message {
+	if err := m.replBarrier(); err != nil {
+		return errf("replicate: %v", err)
+	}
+	return reply
+}
+
+// haGate enforces role-based request gating ahead of dispatch: a fenced
+// ex-primary refuses everything, a standby refuses client traffic, and
+// TReplicate is always admitted (its own epoch check is the authority).
+func (m *Manager) haGate(req *wire.Message) *wire.Message {
+	if req.Type == wire.TReplicate {
+		return nil
+	}
+	m.ha.mu.Lock()
+	fenced, standby, epoch := m.ha.fenced, m.ha.standby, m.ha.epoch
+	m.ha.mu.Unlock()
+	if fenced {
+		return errf("directory %s: %s (fenced deposed primary, epoch %d)", m.name, wire.NotServingMark, epoch)
+	}
+	if !standby {
+		return nil
+	}
+	switch req.Type {
+	case wire.TMigrateTake, wire.TMigrateApply:
+		// Shard migration is coordinator traffic, not client traffic.
+		return nil
+	}
+	return errf("directory %s: %s (standby awaiting promotion)", m.name, wire.NotServingMark)
+}
+
+// handleReplicate absorbs one replication batch: epoch check, gap check,
+// metadata+values absorb, view-state install, optional promotion. The
+// TReplAck always reports the receiver's honest watermark.
+//
+// Note the view install only adds and refreshes — it never prunes: a
+// standby may also hold views of its own (a serving replica absorbing a
+// migration), and a stale extra registration is harmless (it is evicted
+// on first unreachable contact after promotion).
+func (m *Manager) handleReplicate(req *wire.Message) *wire.Message {
+	b, err := DecodeReplBatch(req.Blob)
+	if err != nil {
+		return errf("%v", err)
+	}
+	m.ha.mu.Lock()
+	if b.Epoch < m.ha.epoch {
+		cur := m.ha.epoch
+		m.ha.mu.Unlock()
+		return errf("directory %s: %s %d (current %d)", m.name, staleEpochMark, b.Epoch, cur)
+	}
+	if b.Epoch > m.ha.epoch {
+		m.ha.epoch = b.Epoch
+		if m.ha.fenced && !b.Promote {
+			// A higher-epoch stream re-integrates a fenced ex-primary as a
+			// standby of the new primary.
+			m.ha.fenced = false
+			m.ha.standby = true
+		}
+	}
+	m.ha.lastRepl = m.clock.Now()
+	m.ha.haveRepl = true
+	m.ha.mu.Unlock()
+
+	if b.Snap != nil {
+		cur := m.store.Current()
+		if b.Since > cur {
+			// Refuse: absorbing would open a hole (Since, b.Since]. The
+			// honest watermark in the ack rewinds the sender.
+			return &wire.Message{Type: wire.TReplAck, Version: cur}
+		}
+		if err := m.store.Absorb(b.Snap); err != nil {
+			return errf("%v", err)
+		}
+		if err := m.store.AbsorbImage(b.Img); err != nil {
+			return errf("%v", err)
+		}
+		if err := m.installViews(b.Snap.Views); err != nil {
+			return errf("%v", err)
+		}
+	}
+	if b.Promote {
+		m.ha.mu.Lock()
+		m.ha.standby = false
+		m.ha.fenced = false
+		m.ha.mu.Unlock()
+	}
+	return &wire.Message{Type: wire.TReplAck, Version: m.store.Current()}
+}
+
+// captureViews snapshots the per-view registration state (sorted by name
+// so encodings are deterministic).
+func (m *Manager) captureViews() []HandoverView {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.views))
+	for n := range m.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	recs := make([]HandoverView, 0, len(names))
+	for _, n := range names {
+		vs := m.views[n]
+		recs = append(recs, HandoverView{
+			Name: n, Mode: vs.mode, Op: vs.lastOp, Seen: vs.seen, Validity: vs.validity.Source(),
+		})
+	}
+	m.mu.Unlock()
+	for i := range recs {
+		props, _ := m.reg.Props(recs[i].Name)
+		recs[i].Props = props
+		recs[i].Active = m.reg.Active(recs[i].Name)
+	}
+	return recs
+}
+
+// CaptureSince captures a snapshot of everything committed after since
+// plus the full view-registration state — the unit both replication
+// batches and checkpoint files are built from. CaptureSince(0) is a full
+// view-state-carrying snapshot.
+func (m *Manager) CaptureSince(since vclock.Version) *Snapshot {
+	snap := m.store.SnapshotSince(since)
+	snap.Views = m.captureViews()
+	return snap
+}
+
+// CaptureSnapshot captures the full store metadata plus view-registration
+// state. Restoring it (Options.Snapshot or RestoreSnapshot) brings a
+// standby to the point where cache managers resume without
+// re-register/re-pull.
+func (m *Manager) CaptureSnapshot() *Snapshot { return m.CaptureSince(0) }
+
+// RestoreSnapshot replaces the store metadata with the snapshot's and
+// installs its carried view-registration state.
+func (m *Manager) RestoreSnapshot(snap *Snapshot) error {
+	if err := m.store.Restore(snap); err != nil {
+		return err
+	}
+	return m.installViews(snap.Views)
+}
+
+// buildReplBatch assembles the delta batch after since: metadata
+// snapshot, view state, and the primary values committed after since
+// (extracted under the empty property set, i.e. everything).
+func (m *Manager) buildReplBatch(since vclock.Version, epoch uint64) (*ReplBatch, error) {
+	snap := m.CaptureSince(since)
+	img, err := m.store.Extract(property.NewSet(), since)
+	if err != nil {
+		return nil, fmt.Errorf("directory %s: build repl batch: %w", m.name, err)
+	}
+	return &ReplBatch{Epoch: epoch, Since: since, Snap: snap, Img: img}, nil
+}
+
+// ReplLag returns the primary-version gap between this manager and its
+// slowest live standby (0 without a replicator — or when fully caught
+// up).
+func (m *Manager) ReplLag() uint64 {
+	m.ha.mu.Lock()
+	r := m.ha.repl
+	m.ha.mu.Unlock()
+	if r == nil {
+		return 0
+	}
+	return r.Lag()
+}
+
+// ReplTarget names one standby: the remote node to address TReplicate to,
+// and optionally a dedicated endpoint to call through (nil uses the
+// manager's own network endpoint — the in-process/model-checker case).
+type ReplTarget struct {
+	Name string
+	Ep   transport.Endpoint
+}
+
+// ReplConfig tunes a replication session.
+type ReplConfig struct {
+	// Inline ships batches synchronously inside the commit barrier, on
+	// the caller's goroutine — fully deterministic, used by the model
+	// checker and simulation tests. The default (false) runs one sender
+	// goroutine per standby with CallAsync windowed pipelining.
+	Inline bool
+	// Window bounds the in-flight batches per standby (async mode).
+	// 0 means DefaultReplWindow.
+	Window int
+	// AckTimeout bounds how long the async sender waits for one batch's
+	// ack before declaring the standby unreachable. 0 means
+	// DefaultReplAckTimeout.
+	AckTimeout time.Duration
+	// Retry is the inline-mode per-batch retry policy.
+	Retry transport.RetryPolicy
+	// Lease is the primary's lease duration (virtual time). A standby
+	// whose silence exceeds it may self-promote; with FenceOnLapse the
+	// primary fences itself once it has failed to reach every standby
+	// for longer than this.
+	Lease vclock.Duration
+	// FenceOnLapse makes the primary self-fence when its lease lapses
+	// (all standbys unreachable for > Lease). Deployments whose standbys
+	// self-promote set this so the old primary cannot split-brain.
+	FenceOnLapse bool
+}
+
+// DefaultReplWindow is the async pipelining window when Window is 0.
+const DefaultReplWindow = 4
+
+// DefaultReplAckTimeout is the per-batch ack bound when AckTimeout is 0.
+const DefaultReplAckTimeout = 5 * time.Second
+
+// replTarget is the sender-side state for one standby.
+type replTarget struct {
+	name string
+	ep   transport.Endpoint
+
+	sentVer  vclock.Version // highest version shipped (optimistic)
+	ackedVer vclock.Version // standby's honest watermark
+	sentGen  uint64         // state generation captured by the newest shipped batch
+	ackedGen uint64         // state generation the standby has absorbed
+	kick     bool           // forced ship requested (heartbeat / probe)
+	down     bool           // degraded: unreachable, excluded from barriers
+	downAt   vclock.Time
+}
+
+// Replicator is a primary's replication session fanning out to its
+// standbys.
+type Replicator struct {
+	m   *Manager
+	cfg ReplConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	epoch   uint64
+	fenced  bool
+	closed  bool
+	targets []*replTarget
+	wg      sync.WaitGroup
+
+	batches  *metrics.Counter // batches shipped
+	degraded *metrics.Counter // barriers released with a standby down
+}
+
+// StartReplication attaches a replication session to the manager and —
+// in async mode — starts one sender per standby. The manager's commit
+// and registration paths barrier on it from then on.
+func (m *Manager) StartReplication(cfg ReplConfig, targets ...ReplTarget) (*Replicator, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("directory %s: replication needs at least one target", m.name)
+	}
+	r := &Replicator{
+		m:        m,
+		cfg:      cfg,
+		epoch:    m.Epoch(),
+		batches:  metrics.NewCounter(m.name + ".repl_batches"),
+		degraded: metrics.NewCounter(m.name + ".repl_degraded"),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for _, tgt := range targets {
+		ep := tgt.Ep
+		if ep == nil {
+			ep = m.ep
+		}
+		if ws, ok := ep.(transport.WindowSetter); ok && !cfg.Inline {
+			ws.SetWindow(r.window())
+		}
+		r.targets = append(r.targets, &replTarget{name: tgt.Name, ep: ep})
+	}
+	m.ha.mu.Lock()
+	if m.ha.repl != nil {
+		m.ha.mu.Unlock()
+		return nil, fmt.Errorf("directory %s: replication already started", m.name)
+	}
+	m.ha.repl = r
+	m.ha.mu.Unlock()
+	if !cfg.Inline {
+		for _, t := range r.targets {
+			r.wg.Add(1)
+			go r.runSender(t)
+		}
+	}
+	return r, nil
+}
+
+// Replication returns the attached replication session (nil when not a
+// replicating primary).
+func (m *Manager) Replication() *Replicator {
+	m.ha.mu.Lock()
+	defer m.ha.mu.Unlock()
+	return m.ha.repl
+}
+
+func (r *Replicator) window() int {
+	if r.cfg.Window > 0 {
+		return r.cfg.Window
+	}
+	return DefaultReplWindow
+}
+
+func (r *Replicator) ackTimeout() time.Duration {
+	if r.cfg.AckTimeout > 0 {
+		return r.cfg.AckTimeout
+	}
+	return DefaultReplAckTimeout
+}
+
+// Lag returns the version gap to the slowest live standby.
+func (r *Replicator) Lag() uint64 {
+	cur := r.m.store.Current()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lag uint64
+	for _, t := range r.targets {
+		if t.down {
+			continue
+		}
+		if d := uint64(cur) - uint64(t.ackedVer); d > lag {
+			lag = d
+		}
+	}
+	return lag
+}
+
+// Degraded reports whether any standby is currently excluded from
+// barriers as unreachable.
+func (r *Replicator) Degraded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.targets {
+		if t.down {
+			return true
+		}
+	}
+	return false
+}
+
+// BatchesShipped returns the number of replication batches sent.
+func (r *Replicator) BatchesShipped() int64 { return r.batches.Value() }
+
+// DegradedBarriers returns how many barriers were released while a
+// standby was down (commits acked without full replication).
+func (r *Replicator) DegradedBarriers() int64 { return r.degraded.Value() }
+
+// WaitSynced blocks until every live standby has absorbed a batch whose
+// captured state generation is at least gen (semi-synchronous group
+// commit). Standbys marked down are skipped — availability over
+// replication — and the skip is counted. A fenced replicator fails.
+func (r *Replicator) WaitSynced(gen uint64) error {
+	if r.cfg.Inline {
+		return r.shipInline(gen)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cond.Broadcast() // wake senders: new state to ship
+	for {
+		if r.fenced {
+			return fmt.Errorf("directory %s: fenced (deposed primary, epoch %d)", r.m.name, r.epoch)
+		}
+		if r.closed {
+			return nil
+		}
+		synced, skipped := true, false
+		for _, t := range r.targets {
+			if t.down {
+				skipped = true
+				continue
+			}
+			if t.ackedGen < gen {
+				synced = false
+				break
+			}
+		}
+		if synced {
+			if skipped {
+				r.degraded.Inc()
+			}
+			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// shipInline is the deterministic barrier: build-and-send batches on the
+// caller's goroutine until every target has absorbed generation gen.
+// Transport failures surface to the commit (the model checker's drop
+// schedules land here); they do not degrade the target.
+func (r *Replicator) shipInline(gen uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.targets {
+		for t.ackedGen < gen {
+			if r.fenced {
+				return fmt.Errorf("directory %s: fenced (deposed primary, epoch %d)", r.m.name, r.epoch)
+			}
+			since := t.sentVer
+			g := r.m.haGen()
+			batch, err := r.m.buildReplBatch(since, r.epoch)
+			if err != nil {
+				return err
+			}
+			msg, err := ReplMessage(batch)
+			if err != nil {
+				return err
+			}
+			r.batches.Inc()
+			reply, err := transport.CallRetry(t.ep, t.name, msg, r.cfg.Retry)
+			if err != nil {
+				if !transport.IsTransportError(err) && strings.Contains(err.Error(), staleEpochMark) {
+					r.fenceLocked()
+				}
+				return fmt.Errorf("directory %s: replicate to %s: %w", r.m.name, t.name, err)
+			}
+			r.applyAckLocked(t, batch.Snap.Version, g, reply)
+		}
+	}
+	return nil
+}
+
+// applyAckLocked folds one TReplAck into the target's watermarks. end is
+// the shipped batch's closing version, gen the state generation it
+// captured. An ack at or beyond end means the batch was absorbed; a
+// lower ack is a refusal (or partial knowledge) and rewinds the sender
+// to the standby's honest watermark.
+func (r *Replicator) applyAckLocked(t *replTarget, end vclock.Version, gen uint64, reply *wire.Message) {
+	if reply == nil || reply.Type != wire.TReplAck {
+		return
+	}
+	if reply.Version >= end {
+		if end > t.ackedVer {
+			t.ackedVer = end
+		}
+		if end > t.sentVer {
+			t.sentVer = end
+		}
+		if gen > t.ackedGen {
+			t.ackedGen = gen
+		}
+	} else {
+		t.ackedVer = reply.Version
+		t.sentVer = reply.Version
+	}
+	r.cond.Broadcast()
+}
+
+func (r *Replicator) fenceLocked() {
+	r.fenced = true
+	r.m.ha.mu.Lock()
+	r.m.ha.fenced = true
+	r.m.ha.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// pendingLocked reports whether the target has unshipped state. A down
+// target only ships when kicked (the heartbeat doubles as its probe).
+func (r *Replicator) pendingLocked(t *replTarget) bool {
+	if t.down {
+		return t.kick
+	}
+	return t.kick || t.sentGen < r.m.haGen()
+}
+
+// shipCall abstracts "a batch on the wire": a pipelined transport.Call
+// on async-capable endpoints, an already-resolved pair elsewhere.
+type shipCall struct {
+	call  *transport.Call
+	end   vclock.Version
+	gen   uint64
+	reply *wire.Message
+	err   error
+}
+
+func (s *shipCall) wait(timeout time.Duration) (*wire.Message, error) {
+	if s.call == nil {
+		return s.reply, s.err
+	}
+	if timeout > 0 {
+		return s.call.WaitTimeout(timeout)
+	}
+	return s.call.Wait()
+}
+
+// runSender is the per-standby async pump: it keeps up to Window batches
+// in flight (PR 7's pipelined-session machinery), processes acks in
+// order, rewinds on refusals, degrades the target on transport failure,
+// and probes a down target whenever kicked.
+func (r *Replicator) runSender(t *replTarget) {
+	defer r.wg.Done()
+	var inflight []*shipCall
+	for {
+		r.mu.Lock()
+		for !r.closed && !r.fenced && len(inflight) == 0 && !r.pendingLocked(t) {
+			r.cond.Wait()
+		}
+		if r.closed || r.fenced {
+			r.mu.Unlock()
+			for _, p := range inflight {
+				_, _ = p.wait(r.ackTimeout())
+			}
+			return
+		}
+		for len(inflight) < r.window() && r.pendingLocked(t) {
+			probe := t.down
+			since := t.sentVer
+			epoch := r.epoch
+			t.kick = false
+			r.mu.Unlock()
+			sc := r.issue(t, since, epoch)
+			r.mu.Lock()
+			if sc == nil { // batch build failed; wait for the next change
+				break
+			}
+			if sc.end > t.sentVer {
+				t.sentVer = sc.end
+			}
+			if sc.gen > t.sentGen {
+				t.sentGen = sc.gen
+			}
+			inflight = append(inflight, sc)
+			if probe {
+				break // one probe at a time while degraded
+			}
+		}
+		r.mu.Unlock()
+		if len(inflight) == 0 {
+			continue
+		}
+		sc := inflight[0]
+		inflight = inflight[1:]
+		reply, err := sc.wait(r.ackTimeout())
+		r.mu.Lock()
+		r.senderAckLocked(t, sc, reply, err)
+		r.mu.Unlock()
+	}
+}
+
+// issue builds and sends one batch (no locks held). Returns nil when the
+// batch could not be built (primary codec error); the sender retries on
+// the next state change.
+func (r *Replicator) issue(t *replTarget, since vclock.Version, epoch uint64) *shipCall {
+	gen := r.m.haGen()
+	batch, err := r.m.buildReplBatch(since, epoch)
+	if err != nil {
+		return nil
+	}
+	msg, err := ReplMessage(batch)
+	if err != nil {
+		return nil
+	}
+	r.batches.Inc()
+	sc := &shipCall{end: batch.Snap.Version, gen: gen}
+	if ac, ok := t.ep.(transport.AsyncCaller); ok {
+		sc.call = ac.CallAsync(t.name, msg)
+	} else {
+		sc.reply, sc.err = t.ep.Call(t.name, msg)
+	}
+	return sc
+}
+
+func (r *Replicator) senderAckLocked(t *replTarget, sc *shipCall, reply *wire.Message, err error) {
+	if err != nil {
+		if transport.IsTransportError(err) {
+			if !t.down {
+				t.down = true
+				t.downAt = r.m.clock.Now()
+			}
+			// Rewind so the post-recovery probe refills everything the
+			// lost batches carried.
+			t.sentVer = t.ackedVer
+			t.sentGen = t.ackedGen
+			r.cond.Broadcast() // release barriers into degraded mode
+			return
+		}
+		if strings.Contains(err.Error(), staleEpochMark) {
+			r.fenceLocked()
+			return
+		}
+		// Remote (protocol) error: the standby answered but refused the
+		// batch; rewind and retry from its honest state.
+		t.sentVer = t.ackedVer
+		t.sentGen = t.ackedGen
+		r.cond.Broadcast()
+		return
+	}
+	if t.down {
+		t.down = false
+	}
+	r.applyAckLocked(t, sc.end, sc.gen, reply)
+}
+
+// Heartbeat kicks every sender: idle standbys get an empty batch (which
+// refreshes their lease timer and carries current view state), down
+// standbys get a probe. With FenceOnLapse, a primary whose every standby
+// has been unreachable for longer than the lease fences itself.
+// Deployments call this from their ticker loop; the replicator owns no
+// timers of its own.
+func (r *Replicator) Heartbeat() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	allDown, latest := true, vclock.Time(0)
+	for _, t := range r.targets {
+		t.kick = true
+		if !t.down {
+			allDown = false
+		} else if t.downAt > latest {
+			latest = t.downAt
+		}
+	}
+	if r.cfg.FenceOnLapse && r.cfg.Lease > 0 && allDown && !r.fenced {
+		if r.m.clock.Now()-latest > r.cfg.Lease {
+			r.fenceLocked()
+		}
+	}
+	r.cond.Broadcast()
+}
+
+// Close stops the senders. Outstanding barriers are released.
+func (r *Replicator) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}

@@ -34,6 +34,12 @@ type Snapshot struct {
 	Shadow []ShadowRec
 	// Log is the update log (quality accounting).
 	Log []UpdateRec
+	// Views carries the per-view registration state (modes, seen
+	// versions, validity triggers) when the snapshot was captured by
+	// Manager.CaptureSnapshot. A standby that restores such a snapshot
+	// takes over without forcing every CM through re-register/re-pull.
+	// Store-level Snapshot leaves it nil; decoders of old blobs see nil.
+	Views []HandoverView
 }
 
 // Snapshot captures the store's current metadata.
@@ -67,10 +73,7 @@ func (s *Store) Restore(snap *Snapshot) error {
 	}
 	s.log = make([]UpdateRec, len(snap.Log))
 	copy(s.log, snap.Log)
-	// Fast-forward the counter to the snapshot's version.
-	for s.counter.Current() < snap.Version {
-		s.counter.Next()
-	}
+	s.counter.AdvanceTo(snap.Version)
 	s.rebuildDirtyLocked()
 	s.gen++
 	return nil

@@ -156,8 +156,17 @@ func enumerate(cfg Config, m meta) []Action {
 			}
 		}
 	}
-	if cfg.Migrate && budget && m.active == 0 {
+	if cfg.Migrate && budget && m.active == 0 && !m.primaryDown {
 		out = append(out, Action{Kind: AMigrate})
+	}
+	if cfg.Failover {
+		if budget && m.active == 0 && !m.primaryDown {
+			out = append(out, Action{Kind: ACrashPrimary})
+		}
+		if m.primaryDown && m.active == 0 {
+			// Recovery, like revive: free of the reconfiguration budget.
+			out = append(out, Action{Kind: APromoteStandby})
+		}
 	}
 	return out
 }

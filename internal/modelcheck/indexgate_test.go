@@ -12,11 +12,12 @@ import "testing"
 // into a hard test failure instead of a silent behavior change.
 
 // defaultBoundStates is the exact size of the default-bound state space
-// (2 views, 1 key, 1 reconfiguration, depth 6, pipelined sessions on),
-// unchanged since the pipelined-session PR introduced the current action
-// set. Recompute deliberately (and update EXPERIMENTS.md E14) only when
-// the action set itself changes.
-const defaultBoundStates = 2968
+// (2 views, 1 key, 1 reconfiguration, depth 6, pipelined sessions on,
+// failover on — dm!a inline-replicating to dm!b with crash-primary /
+// promote-standby enabled; 2968 before the failover actions existed).
+// Recompute deliberately (and update EXPERIMENTS.md E14) only when the
+// action set itself changes.
+const defaultBoundStates = 3492
 
 func TestIndexedRegistryStateCountPinned(t *testing.T) {
 	res, err := Explore(DefaultConfig())

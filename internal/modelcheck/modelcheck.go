@@ -111,6 +111,15 @@ type Config struct {
 	// with the views routed through a TRouted forwarding node exactly as
 	// the shard router does.
 	Migrate bool
+	// Failover enables the hot-standby reconfigurations on the same
+	// two-manager rig: dm!a replicates inline to dm!b (every mutating
+	// request barriers on the standby, exactly the HA directory's
+	// semi-synchronous commit), crash-primary kills dm!a at the network,
+	// and promote-standby sends dm!b the promote batch and re-points the
+	// forwarder — after which every invariant (including strong-mode
+	// exclusivity and per-key durability of acknowledged commits) must
+	// still hold against the state dm!b absorbed from replication alone.
+	Failover bool
 	// Crash enables the crash/revive reconfigurations.
 	Crash bool
 	// SetModes enables the mode-switch reconfiguration.
@@ -156,6 +165,7 @@ func DefaultConfig() Config {
 		WritesPerView: 2,
 		Validity:      "staleness < 1",
 		Migrate:       true,
+		Failover:      true,
 		Crash:         true,
 		SetModes:      true,
 		SetProps:      true,
@@ -215,6 +225,15 @@ const (
 	// (Flush), exercising the pipelined-session ordering and window-drain
 	// rules against every invariant.
 	AFlush
+	// ACrashPrimary kills the primary directory manager dm!a at the
+	// network (reconfiguration). Client calls fail until promote-standby;
+	// acknowledged commits must survive on the standby.
+	ACrashPrimary
+	// APromoteStandby sends dm!b the promote-only replication batch under
+	// the next epoch and re-points the forwarder at it — the router's
+	// consensus-free failover. Recovery: does not consume the
+	// reconfiguration budget.
+	APromoteStandby
 )
 
 // Action is one atomic transition of the model: a protocol step or a
@@ -256,6 +275,10 @@ func (a Action) String() string {
 		return fmt.Sprintf("push-async(%s)", v)
 	case AFlush:
 		return fmt.Sprintf("flush(%s)", v)
+	case ACrashPrimary:
+		return "crash-primary(dm!a)"
+	case APromoteStandby:
+		return "promote-standby(dm!b)"
 	default:
 		return fmt.Sprintf("action(%d)", a.Kind)
 	}

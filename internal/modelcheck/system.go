@@ -109,6 +109,9 @@ type system struct {
 	views  []*viewNode
 	// reconfigs counts reconfiguration actions applied.
 	reconfigs int
+	// primaryDown marks dm!a crashed (ACrashPrimary). Until
+	// APromoteStandby re-points the forwarder, client calls fail.
+	primaryDown bool
 	// dead names crashed views; the netsim delivery hook fails messages
 	// addressed to them.
 	dead map[string]bool
@@ -235,7 +238,7 @@ func newSystem(cfg Config, rec *trace.Recorder) (*system, error) {
 	}
 
 	place := func(node string) { s.net.Topology().Place(node, "h-"+node) }
-	if cfg.Migrate {
+	if cfg.Migrate || cfg.Failover {
 		// Two directory managers share the primary codec (the documented
 		// single-primary shard deployment); views dial the forwarder
 		// "dm", which wraps every request in the shard router's TRouted
@@ -274,6 +277,23 @@ func newSystem(cfg Config, rec *trace.Recorder) (*system, error) {
 		}
 		s.ctl = ctl
 		place("ctl")
+		if cfg.Failover {
+			// dm!a replicates inline to dm!b: every mutating request's
+			// reply barriers on the standby having absorbed it, on the
+			// caller's goroutine — deterministic, so replays stay pure
+			// functions of the schedule. dm!b is a serving replica, not
+			// Options.Standby-gated, so Migrate and Failover coexist: it
+			// absorbs replication batches and migration handovers alike.
+			// Attempts:3 lets a single scheduled drop of a TReplicate be
+			// retried instead of failing the client's request.
+			_, err := s.dms[0].StartReplication(directory.ReplConfig{
+				Inline: true,
+				Retry:  transport.RetryPolicy{Attempts: 3, Sleep: func(time.Duration) {}},
+			}, directory.ReplTarget{Name: "dm!b"})
+			if err != nil {
+				return nil, err
+			}
+		}
 	} else {
 		dm, err := directory.New("dm", s.prim, clock, net, opts)
 		if err != nil {
@@ -335,9 +355,21 @@ func (s *system) attachView(v *viewNode) (*cache.Manager, error) {
 // schedule, a failure of the acting view's own call is the legal surface
 // of the dropped message — either directly as a transport error, or
 // wrapped into a remote error by the routing forwarder when the drop hit
-// its inner hop. Everything else is a violation.
+// its inner hop. While the primary is crashed and not yet failed over,
+// any failure tracing to the dead dm!a is likewise legal. Everything else
+// is a violation.
 func (s *system) opLegal(err error) bool {
-	if err == nil || s.cfg.DropMessage == 0 {
+	if err == nil {
+		return false
+	}
+	if s.primaryDown && s.active == 0 {
+		if transport.IsTransportError(err) ||
+			errors.Is(err, cache.ErrSessionReset) ||
+			strings.Contains(err.Error(), "dm!a crashed") {
+			return true
+		}
+	}
+	if s.cfg.DropMessage == 0 {
 		return false
 	}
 	return transport.IsTransportError(err) ||
@@ -534,6 +566,26 @@ func (s *system) apply(a Action) error {
 		s.active = 1
 		s.reconfigs++
 		return s.verify(a, nil)
+
+	case ACrashPrimary:
+		// Kill dm!a at the network; its in-memory state stays inspectable
+		// (the invariants read it directly), but no message reaches it —
+		// the barrier guarantee is now all the standby has.
+		s.dead["dm!a"] = true
+		s.primaryDown = true
+		s.reconfigs++
+		return s.verify(a, nil)
+
+	case APromoteStandby:
+		msg, err := directory.PromoteMessage(s.dms[1].Epoch() + 1)
+		if err != nil {
+			return violationf("promote-standby: build promote batch: %v", err)
+		}
+		if _, err := callRetry(s.ctl, "dm!b", msg); err != nil {
+			return violationf("promote-standby failed: %v", err)
+		}
+		s.active = 1
+		return s.verify(a, nil)
 	}
 	return fmt.Errorf("modelcheck: unknown action kind %d", a.Kind)
 }
@@ -564,13 +616,14 @@ type viewMeta struct {
 
 // meta captures the enabled-action inputs of a state.
 type meta struct {
-	views     []viewMeta
-	reconfigs int
-	active    int
+	views       []viewMeta
+	reconfigs   int
+	active      int
+	primaryDown bool
 }
 
 func (s *system) observe() meta {
-	m := meta{reconfigs: s.reconfigs, active: s.active}
+	m := meta{reconfigs: s.reconfigs, active: s.active, primaryDown: s.primaryDown}
 	for _, v := range s.views {
 		vm := viewMeta{alive: v.alive, writes: v.writes, propsAlt: v.propsAlt, mode: v.mode}
 		if v.alive {
@@ -591,7 +644,7 @@ func (s *system) observe() meta {
 // identical futures and deduplicating them is sound.
 func (s *system) fingerprint() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "active=%d reconfigs=%d\n", s.active, s.reconfigs)
+	fmt.Fprintf(&b, "active=%d reconfigs=%d pdown=%t\n", s.active, s.reconfigs, s.primaryDown)
 	for di, dm := range s.dms {
 		reg := dm.Registry()
 		fmt.Fprintf(&b, "dm%d ver=%d\n", di, dm.CurrentVersion())

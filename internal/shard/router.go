@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"flecc/internal/directory"
+	"flecc/internal/metrics"
 	"flecc/internal/property"
 	"flecc/internal/transport"
 	"flecc/internal/vclock"
@@ -55,6 +56,12 @@ type Router struct {
 	vv       vclock.Vector           // shard -> highest primary version observed
 	retry    transport.RetryPolicy   // bounds router→shard call retries
 	closed   bool
+
+	// Lease-based failover state (failover.go).
+	fo          FailoverConfig
+	ha          map[string]*haShard // shard -> standby + lease record
+	failovers   *metrics.Counter
+	regressions *metrics.Counter
 }
 
 // NewRouter attaches a router under the logical directory name. The map's
@@ -73,6 +80,7 @@ func NewRouter(net transport.Network, name string, m *Map) (*Router, error) {
 		inflight: map[string]int{},
 		frozen:   map[string]bool{},
 		vv:       vclock.NewVector(),
+		ha:       map[string]*haShard{},
 	}
 	r.cond = sync.NewCond(&r.mu)
 	// Attach under the lock: on a live network a request can be dispatched
@@ -155,6 +163,18 @@ func (r *Router) route(req *wire.Message) *wire.Message {
 	reply, callErr := transport.CallRetry(r.ep, shard, env, r.retryPolicy())
 	r.settle(shard, view, req.Type, req.Props, placed, reply)
 
+	if reply == nil && r.failover(shard) {
+		// The shard's slot moved (standby promoted, or the primary
+		// recovered while we waited out its lease): re-resolve and retry
+		// once against wherever the view now routes. One routed call
+		// absorbs the whole failover; the client only sees latency.
+		shard, placed, err = r.acquire(view, req.Type, req.Props)
+		if err != nil {
+			return errf("%v", err)
+		}
+		reply, callErr = transport.CallRetry(r.ep, shard, env, r.retryPolicy())
+		r.settle(shard, view, req.Type, req.Props, placed, reply)
+	}
 	if reply == nil {
 		return errf("shard router %s: shard %s unreachable: %v", r.name, shard, callErr)
 	}
@@ -297,6 +317,9 @@ func (r *Router) settle(shard, view string, t wire.Type, props property.Set, pla
 		if uint64(v) > r.vv[shard] {
 			r.vv[shard] = uint64(v)
 		}
+		// Any answer — even a protocol error — proves the primary alive
+		// and renews its lease.
+		r.touchShardLocked(shard)
 	}
 	switch t {
 	case wire.TRegister:

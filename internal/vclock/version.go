@@ -35,6 +35,19 @@ func (c *Counter) Current() Version {
 	return c.v
 }
 
+// AdvanceTo fast-forwards the counter to v in a single step. It is
+// monotonic: a v at or below the current value is a no-op, so concurrent
+// advances and Next calls can interleave safely. Snapshot restore and
+// handover absorption use it to adopt another counter's position without
+// issuing (and discarding) every intermediate version.
+func (c *Counter) AdvanceTo(v Version) {
+	c.mu.Lock()
+	if v > c.v {
+		c.v = v
+	}
+	c.mu.Unlock()
+}
+
 // Vector is a version vector mapping replica IDs to the highest update
 // counter observed from that replica. Flecc's centralized protocol only
 // needs scalar versions, but the decentralized extension (internal/peer,

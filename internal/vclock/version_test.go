@@ -20,6 +20,45 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+func TestCounterAdvanceTo(t *testing.T) {
+	var c Counter
+	c.AdvanceTo(1_000_000)
+	if c.Current() != 1_000_000 {
+		t.Fatalf("AdvanceTo(1e6): Current = %d", c.Current())
+	}
+	// Monotonic: advancing backwards is a no-op.
+	c.AdvanceTo(5)
+	if c.Current() != 1_000_000 {
+		t.Fatalf("backward AdvanceTo moved the counter to %d", c.Current())
+	}
+	// Next continues from the adopted position.
+	if v := c.Next(); v != 1_000_001 {
+		t.Fatalf("Next after AdvanceTo = %d", v)
+	}
+}
+
+func TestCounterAdvanceToConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				c.AdvanceTo(Version(i * 100))
+			} else {
+				c.Next()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// 48*100 is the highest adopted position; the interleaved Nexts can
+	// only have pushed past it, never below.
+	if c.Current() < 4800 {
+		t.Fatalf("Current = %d, want >= 4800", c.Current())
+	}
+}
+
 func TestCounterConcurrent(t *testing.T) {
 	var c Counter
 	var wg sync.WaitGroup

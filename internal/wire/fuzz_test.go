@@ -39,6 +39,8 @@ func seedCorpus() [][]byte {
 		{Type: TMigrateApply, Blob: []byte{1, 2, 3}},
 		{Type: THello, From: "a1"},
 		{Type: THelloAck, Seq: 1, From: "dm"},
+		{Type: TReplicate, From: "dm!s0", Blob: []byte{4, 5, 6}},
+		{Type: TReplAck, Seq: 2, From: "dm!s0r", Version: 11},
 	}
 	var seeds [][]byte
 	for _, m := range perType {

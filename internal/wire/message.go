@@ -92,6 +92,19 @@ const (
 	THello
 	// THelloAck acknowledges THello.
 	THelloAck
+
+	// --- hot-standby replication (internal/directory) ---
+
+	// TReplicate ships a replication batch from a primary directory
+	// manager to a standby: Blob carries the encoded directory.ReplBatch
+	// (snapshot-since metadata, values, view-registration state, and the
+	// sender's epoch). A batch with Promote set orders the receiver to
+	// take over as primary under a higher epoch.
+	TReplicate
+	// TReplAck acknowledges TReplicate; Version reports the standby's
+	// durable watermark (its highest absorbed primary version), which the
+	// primary uses to rewind after gaps and to size catch-up deltas.
+	TReplAck
 )
 
 var typeNames = map[Type]string{
@@ -116,6 +129,8 @@ var typeNames = map[Type]string{
 	TMigrateApply: "migrate-apply",
 	THello:        "hello",
 	THelloAck:     "hello-ack",
+	TReplicate:    "replicate",
+	TReplAck:      "repl-ack",
 }
 
 func (t Type) String() string {
@@ -124,6 +139,13 @@ func (t Type) String() string {
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
+
+// NotServingMark is the substring a directory manager's refusal carries
+// when the node is alive but not serving client traffic — a hot standby
+// awaiting promotion, or a fenced ex-primary. Reconnecting cache
+// managers treat such refusals like a dead endpoint and rotate to their
+// next fallback address instead of surfacing the error.
+const NotServingMark = "not serving"
 
 // Mode is a view's consistency mode (paper §4: strong vs weak).
 type Mode uint8
@@ -223,7 +245,7 @@ type Message struct {
 
 // IsReply reports whether the message is a reply type.
 func (m *Message) IsReply() bool {
-	return m.Type == TAck || m.Type == TImage || m.Type == TErr
+	return m.Type == TAck || m.Type == TImage || m.Type == TErr || m.Type == TReplAck
 }
 
 // String renders a compact human-readable summary for logs.

@@ -205,12 +205,12 @@ func TestMessageString(t *testing.T) {
 }
 
 func TestIsReply(t *testing.T) {
-	for _, typ := range []Type{TAck, TImage, TErr} {
+	for _, typ := range []Type{TAck, TImage, TErr, TReplAck} {
 		if !(&Message{Type: typ}).IsReply() {
 			t.Fatalf("%v should be a reply", typ)
 		}
 	}
-	for _, typ := range []Type{TRegister, TPull, TInvalidate} {
+	for _, typ := range []Type{TRegister, TPull, TInvalidate, TReplicate} {
 		if (&Message{Type: typ}).IsReply() {
 			t.Fatalf("%v should not be a reply", typ)
 		}
