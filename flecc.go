@@ -133,6 +133,7 @@ type sysConfig struct {
 	resolver  image.Resolver
 	readAware bool
 	fanOut    int
+	lanes     int
 	stats     bool
 	trace     bool
 	traceCap  int
@@ -164,6 +165,17 @@ func WithReadAware() Option {
 // directory.DefaultFanOut).
 func WithFanOut(n int) Option {
 	return func(c *sysConfig) { c.fanOut = n }
+}
+
+// WithLanes enables conflict-group-striped execution at the directory
+// manager: commits from disjoint conflict groups run through n parallel
+// execution lanes, with the store's per-key metadata striped and codec
+// calls moved outside global locks. Requests within one conflict group
+// keep arrival order. The default (0 or 1) is the serial path —
+// byte-identical protocol behavior, which the deterministic experiment
+// harness relies on.
+func WithLanes(n int) Option {
+	return func(c *sysConfig) { c.lanes = n }
 }
 
 // WithMessageStats enables message counting (see System.Messages).
@@ -219,6 +231,7 @@ func New(name string, primary Codec, opts ...Option) (*System, error) {
 		Resolver:  cfg.resolver,
 		ReadAware: cfg.readAware,
 		FanOut:    fanOut,
+		Lanes:     cfg.lanes,
 	})
 	if err != nil {
 		return nil, err

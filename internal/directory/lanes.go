@@ -1,0 +1,150 @@
+package directory
+
+import (
+	"sync"
+
+	"flecc/internal/wire"
+)
+
+// Execution lanes (the request half of conflict-group striping): each
+// commit is routed to the lane of its writer's conflict group, so commits
+// within one group keep arrival order — exactly today's serialization —
+// while commits of disjoint groups proceed in parallel. The group map is
+// derived from the registry's conflict structure (the PR 8 property
+// index) and cached per registry mutation epoch: repeated commits between
+// structural changes never re-query the index.
+//
+// Two rules keep this safe:
+//
+//   - A lane lock is scoped to the Store.Commit call alone — never held
+//     across a DM-initiated network round (invalidate, gather,
+//     propagate). A cache manager answering an invalidation may itself be
+//     waiting to push; holding a lane across the round would deadlock the
+//     pair.
+//   - Anything that can change the conflict structure — register,
+//     unregister, set-props, revival, static-map seeding, migration
+//     handover — takes the lane gate exclusively, draining every
+//     in-flight commit before the structure moves. Commits started after
+//     the change see the bumped registry epoch and rebuild the map.
+//     Evictions (SetLost true) only remove conflict edges, so in-flight
+//     commits running under the pre-eviction, coarser grouping stay
+//     correct; the map catches up on its next lazy rebuild.
+
+type laneSet struct {
+	m *Manager
+	// gate drains the lanes: commits hold the read side for the duration
+	// of their store commit, structural changes the write side.
+	gate  sync.RWMutex
+	lanes []sync.Mutex
+
+	// mu guards the lazily rebuilt group map below.
+	mu    sync.Mutex
+	epoch uint64
+	built bool
+	group map[string]uint32
+}
+
+func newLaneSet(m *Manager, n int) *laneSet {
+	return &laneSet{m: m, lanes: make([]sync.Mutex, n)}
+}
+
+func fnvLane(s string, n int) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h % uint32(n)
+}
+
+// laneFor maps a view to its conflict group's lane. Caller holds gate.R,
+// which pins the conflict structure: structural changes need gate.W.
+func (ls *laneSet) laneFor(view string) *sync.Mutex {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if e := ls.m.reg.Epoch(); !ls.built || e != ls.epoch {
+		ls.rebuildLocked(e)
+	}
+	if lane, ok := ls.group[view]; ok {
+		return &ls.lanes[lane]
+	}
+	// Unknown to the map (e.g. registered after the epoch was read but
+	// before the commit): name-hash fallback. Any fixed lane is safe —
+	// the structural change that added the view drained the lanes, so its
+	// group peers route through the same rebuilt map on their next commit.
+	return &ls.lanes[fnvLane(view, len(ls.lanes))]
+}
+
+// rebuildLocked recomputes view → lane: union-find over the structural
+// (activeOnly=false) conflict sets merges each conflict group to one
+// root, and the root's name hash picks the lane. Views that transitively
+// share data always land on the same lane; disjoint groups spread across
+// lanes. Caller holds ls.mu.
+func (ls *laneSet) rebuildLocked(epoch uint64) {
+	views := ls.m.reg.Views()
+	parent := make(map[string]string, len(views))
+	var find func(string) string
+	find = func(x string) string {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for _, v := range views {
+		parent[v] = v
+	}
+	for _, v := range views {
+		for _, c := range ls.m.reg.ConflictingWith(v, false) {
+			if _, ok := parent[c]; !ok {
+				continue
+			}
+			ra, rb := find(v), find(c)
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+	ls.group = make(map[string]uint32, len(views))
+	for _, v := range views {
+		ls.group[v] = fnvLane(find(v), len(ls.lanes))
+	}
+	ls.epoch = epoch
+	ls.built = true
+}
+
+// withCommitLane runs fn (a Store.Commit call site) under the writer's
+// conflict-group lane. Without lanes it is a plain call — the serial path
+// stays untouched.
+func (m *Manager) withCommitLane(writer string, fn func()) {
+	if m.lanes == nil {
+		fn()
+		return
+	}
+	m.lanes.gate.RLock()
+	defer m.lanes.gate.RUnlock()
+	lane := m.lanes.laneFor(writer)
+	lane.Lock()
+	defer lane.Unlock()
+	fn()
+}
+
+// structuralDo runs fn with the lanes drained (gate held exclusively) —
+// for conflict-structure changes and whole-store commits. Without lanes
+// it is a plain call.
+func (m *Manager) structuralDo(fn func()) {
+	if m.lanes == nil {
+		fn()
+		return
+	}
+	m.lanes.gate.Lock()
+	defer m.lanes.gate.Unlock()
+	fn()
+}
+
+// structural is structuralDo for handlers that produce a reply.
+func (m *Manager) structural(fn func() *wire.Message) *wire.Message {
+	var reply *wire.Message
+	m.structuralDo(func() { reply = fn() })
+	return reply
+}

@@ -81,13 +81,26 @@ type Options struct {
 	// self-test seeds a skipped-invalidation bug through it and proves
 	// the checker renders the resulting violation.
 	InvalFilter func(requester string, targets []string) []string
+	// Lanes enables conflict-group-striped execution (lanes.go,
+	// stripe.go): commits from disjoint conflict groups run through
+	// separate execution lanes in parallel, with the store's per-key
+	// metadata striped and codec calls moved outside global locks.
+	// Requests within one conflict group keep today's arrival order.
+	// 0 or 1 keeps the serial path — byte-identical behavior, which the
+	// deterministic experiment harness and the model checker rely on.
+	// Real deployments opt in via flecc.WithLanes / fleccd -lanes.
+	Lanes int
 }
 
 // DefaultFanOut is the fan-out bound applied when Options.FanOut is 0.
 const DefaultFanOut = 4
 
-// viewState is the DM-side record for one registered view.
+// viewState is the DM-side record for one registered view. Its mutable
+// fields are guarded by its own mu, so two views' requests never contend
+// on a shared manager lock; the map holding the states is guarded by
+// Manager.vmu. Lock order: vmu before any vs.mu, never the reverse.
 type viewState struct {
+	mu       sync.Mutex
 	name     string
 	mode     wire.Mode
 	seen     vclock.Version
@@ -118,8 +131,15 @@ type Manager struct {
 	latPush   *metrics.Latency
 	latFanout *metrics.Latency
 
-	mu    sync.Mutex
+	// vmu guards the views map itself; each viewState carries its own
+	// lock for its mutable fields. Replaces the old single Manager.mu
+	// that serialized every request's state access.
+	vmu   sync.RWMutex
 	views map[string]*viewState
+
+	// lanes is the conflict-group execution-lane table (lanes.go); nil
+	// unless Options.Lanes > 1.
+	lanes *laneSet
 
 	// ha is the hot-standby replication state (replicate.go): role,
 	// fencing epoch, attached replicator, and the batch-visible state
@@ -145,6 +165,10 @@ func New(name string, primary image.Codec, clock vclock.Clock, net transport.Net
 	}
 	if opts.Resolver != nil {
 		m.store.SetResolver(opts.Resolver)
+	}
+	if opts.Lanes > 1 {
+		m.store.EnableStriping()
+		m.lanes = newLaneSet(m, opts.Lanes)
 	}
 	if opts.Snapshot != nil {
 		if err := m.store.Restore(opts.Snapshot); err != nil {
@@ -194,16 +218,13 @@ func (m *Manager) Views() []string { return m.reg.Views() }
 // for a view: ops committed to shared data by other writers that the view
 // has not yet observed. Unknown views report 0.
 func (m *Manager) UnseenCommitted(view string) int {
-	m.mu.Lock()
-	vs, ok := m.views[view]
-	var seen vclock.Version
-	if ok {
-		seen = vs.seen
-	}
-	m.mu.Unlock()
+	vs, ok := m.viewState(view)
 	if !ok {
 		return 0
 	}
+	vs.mu.Lock()
+	seen := vs.seen
+	vs.mu.Unlock()
 	props, _ := m.reg.Props(view)
 	return m.store.UnseenOps(seen, view, props)
 }
@@ -223,9 +244,9 @@ func (m *Manager) LostViews() []string { return m.reg.LostViews() }
 
 // Seen returns the primary version a view last observed.
 func (m *Manager) Seen(view string) vclock.Version {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if vs, ok := m.views[view]; ok {
+	if vs, ok := m.viewState(view); ok {
+		vs.mu.Lock()
+		defer vs.mu.Unlock()
 		return vs.seen
 	}
 	return 0
@@ -250,7 +271,9 @@ func (m *Manager) handle(req *wire.Message) *wire.Message {
 	case wire.TRegister, wire.TRouted, wire.TMigrateTake, wire.TMigrateApply, wire.TReplicate:
 	default:
 		if req.From != "" && m.reg.Lost(req.From) {
-			m.reg.SetLost(req.From, false)
+			// Revival adds conflict edges back; in laned mode it drains
+			// the execution lanes like any structural change.
+			m.structuralDo(func() { m.reg.SetLost(req.From, false) })
 		}
 	}
 	switch req.Type {
@@ -294,16 +317,20 @@ func (m *Manager) handleRegister(req *wire.Message) *wire.Message {
 	if err != nil {
 		return errf("bad validity trigger for %s: %v", view, err)
 	}
-	if m.reg.Has(view) {
-		return m.reRegister(view, req, val)
-	}
-	if err := m.reg.Register(view, req.Props); err != nil {
-		return errf("%v", err)
-	}
-	m.mu.Lock()
-	m.views[view] = &viewState{name: view, mode: req.Mode, validity: val, lastOp: req.Op}
-	m.mu.Unlock()
-	return m.synced(&wire.Message{Type: wire.TAck, Version: m.store.Current()})
+	// Registration changes the conflict structure (it can add edges), so
+	// in laned mode it drains the execution lanes first.
+	return m.structural(func() *wire.Message {
+		if m.reg.Has(view) {
+			return m.reRegister(view, req, val)
+		}
+		if err := m.reg.Register(view, req.Props); err != nil {
+			return errf("%v", err)
+		}
+		m.vmu.Lock()
+		m.views[view] = &viewState{name: view, mode: req.Mode, validity: val, lastOp: req.Op}
+		m.vmu.Unlock()
+		return m.synced(&wire.Message{Type: wire.TAck, Version: m.store.Current()})
+	})
 }
 
 // reRegister handles a register for a name that is already on the books.
@@ -315,17 +342,16 @@ func (m *Manager) handleRegister(req *wire.Message) *wire.Message {
 // error, as before.
 func (m *Manager) reRegister(view string, req *wire.Message, val trigger.Trigger) *wire.Message {
 	prev, _ := m.reg.Props(view)
-	m.mu.Lock()
-	vs, ok := m.views[view]
+	vs, ok := m.viewState(view)
 	if ok && prev.Equal(req.Props) {
 		// Keep seen and mode; refresh only what the CM re-announces.
+		vs.mu.Lock()
 		vs.validity = val
 		vs.lastOp = req.Op
-		m.mu.Unlock()
+		vs.mu.Unlock()
 		m.reg.SetLost(view, false)
 		return m.synced(&wire.Message{Type: wire.TAck, Version: m.store.Current()})
 	}
-	m.mu.Unlock()
 	if !m.reg.Lost(view) {
 		return errf("registry: view %q already registered", view)
 	}
@@ -335,24 +361,26 @@ func (m *Manager) reRegister(view string, req *wire.Message, val trigger.Trigger
 		return errf("%v", err)
 	}
 	m.reg.SetLost(view, false)
-	m.mu.Lock()
+	m.vmu.Lock()
 	m.views[view] = &viewState{name: view, mode: req.Mode, validity: val, lastOp: req.Op}
-	m.mu.Unlock()
+	m.vmu.Unlock()
 	return m.synced(&wire.Message{Type: wire.TAck, Version: m.store.Current()})
 }
 
 func (m *Manager) handleUnregister(req *wire.Message) *wire.Message {
 	view := req.From
-	m.reg.Unregister(view)
-	m.mu.Lock()
-	delete(m.views, view)
-	m.mu.Unlock()
-	return m.synced(&wire.Message{Type: wire.TAck})
+	return m.structural(func() *wire.Message {
+		m.reg.Unregister(view)
+		m.vmu.Lock()
+		delete(m.views, view)
+		m.vmu.Unlock()
+		return m.synced(&wire.Message{Type: wire.TAck})
+	})
 }
 
 func (m *Manager) viewState(view string) (*viewState, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.vmu.RLock()
+	defer m.vmu.RUnlock()
 	vs, ok := m.views[view]
 	return vs, ok
 }
@@ -368,9 +396,9 @@ func (m *Manager) handleInit(req *wire.Message) *wire.Message {
 	if err != nil {
 		return errf("%v", err)
 	}
-	m.mu.Lock()
+	vs.mu.Lock()
 	vs.seen = img.Version
-	m.mu.Unlock()
+	vs.mu.Unlock()
 	m.reg.SetActive(view, true)
 	return m.synced(&wire.Message{Type: wire.TImage, Img: img, Version: img.Version})
 }
@@ -387,25 +415,29 @@ func (m *Manager) handlePull(req *wire.Message) *wire.Message {
 	if !ok {
 		return errf("pull from unregistered view %s", view)
 	}
-	m.mu.Lock()
+	vs.mu.Lock()
 	mode := vs.mode
 	vs.lastOp = req.Op
-	m.mu.Unlock()
+	vs.mu.Unlock()
 
 	// 1. Invalidation set: a strong-mode pull stops every conflicting
 	// active view; a weak-mode pull only stops conflicting active
 	// strong-mode views (their one-copy guarantee would otherwise be
-	// violated by a second active sharer).
+	// violated by a second active sharer). The whole set is built under
+	// one views-map acquisition — not one lock round-trip per candidate —
+	// with each candidate's mode/lastOp snapshotted via its own lock.
+	conflicting := m.conflictSet(view, true)
 	var inval []string
-	for _, other := range m.conflictSet(view, true) {
-		os, ok := m.viewState(other)
+	m.vmu.RLock()
+	for _, other := range conflicting {
+		os, ok := m.views[other]
 		if !ok {
 			continue
 		}
-		m.mu.Lock()
+		os.mu.Lock()
 		otherMode := os.mode
 		otherOp := os.lastOp
-		m.mu.Unlock()
+		os.mu.Unlock()
 		invalidate := mode == wire.Strong || otherMode == wire.Strong
 		if m.opts.ReadAware && invalidate {
 			// Readers coexist: only writer/writer and writer/reader pairs
@@ -418,6 +450,7 @@ func (m *Manager) handlePull(req *wire.Message) *wire.Message {
 			inval = append(inval, other)
 		}
 	}
+	m.vmu.RUnlock()
 	if m.opts.InvalFilter != nil {
 		inval = m.opts.InvalFilter(view, inval)
 	}
@@ -459,9 +492,9 @@ func (m *Manager) handlePull(req *wire.Message) *wire.Message {
 	if err != nil {
 		return errf("%v", err)
 	}
-	m.mu.Lock()
+	vs.mu.Lock()
 	vs.seen = img.Version
-	m.mu.Unlock()
+	vs.mu.Unlock()
 	m.reg.SetActive(view, true)
 	// One barrier covers the whole pull: the gathered/invalidated commits
 	// above and the registration-state changes land on the standbys
@@ -488,10 +521,10 @@ func (m *Manager) shouldGather(vs *viewState, req *wire.Message) bool {
 	if m.opts.AlwaysGather {
 		return true
 	}
-	m.mu.Lock()
+	vs.mu.Lock()
 	val := vs.validity
 	seen := vs.seen
-	m.mu.Unlock()
+	vs.mu.Unlock()
 	if val.IsZero() {
 		// No validity trigger: the view accepts the primary data as-is.
 		return false
@@ -656,7 +689,10 @@ func (m *Manager) commitReply(writer string, reply *wire.Message) error {
 	// Rejected winners are not pushed back here: invalidated views must
 	// pull before their next use anyway, and fetched views will see the
 	// winning values on their next pull.
-	_, _, _, err := m.store.Commit(writer, reply.Img, int(reply.Ops))
+	var err error
+	m.withCommitLane(writer, func() {
+		_, _, _, err = m.store.Commit(writer, reply.Img, int(reply.Ops))
+	})
 	return err
 }
 
@@ -667,7 +703,16 @@ func (m *Manager) handlePush(req *wire.Message) *wire.Message {
 	if _, ok := m.viewState(view); !ok {
 		return errf("push from unregistered view %s", view)
 	}
-	ver, _, rejected, err := m.store.Commit(view, req.Img, int(req.Ops))
+	var (
+		ver      vclock.Version
+		rejected *image.Image
+		err      error
+	)
+	// The pusher's execution lane serializes this commit against its own
+	// conflict group only; disjoint groups commit in parallel.
+	m.withCommitLane(view, func() {
+		ver, _, rejected, err = m.store.Commit(view, req.Img, int(req.Ops))
+	})
 	if err != nil {
 		return errf("%v", err)
 	}
@@ -707,9 +752,9 @@ func (m *Manager) propagate(writer string, ver vclock.Version) error {
 			continue
 		}
 		props, _ := m.reg.Props(other)
-		m.mu.Lock()
+		os.mu.Lock()
 		since := os.seen
-		m.mu.Unlock()
+		os.mu.Unlock()
 		key := fmt.Sprintf("%s@%d", props.String(), since)
 		pl, ok := payloads[key]
 		if !ok {
@@ -747,11 +792,11 @@ func (m *Manager) propagate(writer string, ver vclock.Version) error {
 		}
 		_ = reply
 		if os, ok := m.viewState(other); ok {
-			m.mu.Lock()
+			os.mu.Lock()
 			if ver > os.seen {
 				os.seen = ver
 			}
-			m.mu.Unlock()
+			os.mu.Unlock()
 		}
 		return nil
 	})
@@ -762,17 +807,21 @@ func (m *Manager) handleSetMode(req *wire.Message) *wire.Message {
 	if !ok {
 		return errf("set-mode from unregistered view %s", req.From)
 	}
-	m.mu.Lock()
+	vs.mu.Lock()
 	vs.mode = req.Mode
-	m.mu.Unlock()
+	vs.mu.Unlock()
 	return m.synced(&wire.Message{Type: wire.TAck})
 }
 
 func (m *Manager) handleSetProps(req *wire.Message) *wire.Message {
-	if err := m.reg.SetProps(req.From, req.Props); err != nil {
-		return errf("%v", err)
-	}
-	return m.synced(&wire.Message{Type: wire.TAck})
+	// A property change rewires conflict groups; drain the lanes so no
+	// commit runs under the group map it invalidates.
+	return m.structural(func() *wire.Message {
+		if err := m.reg.SetProps(req.From, req.Props); err != nil {
+			return errf("%v", err)
+		}
+		return m.synced(&wire.Message{Type: wire.TAck})
+	})
 }
 
 // CompactLog drops update-log records that every registered view has
@@ -781,7 +830,7 @@ func (m *Manager) handleSetProps(req *wire.Message) *wire.Message {
 // periodically to bound the quality-accounting log; records still needed
 // by any view are never dropped, so UnseenCommitted stays exact.
 func (m *Manager) CompactLog() int {
-	m.mu.Lock()
+	m.vmu.RLock()
 	min := vclock.Version(0)
 	first := true
 	for _, vs := range m.views {
@@ -791,12 +840,15 @@ func (m *Manager) CompactLog() int {
 		if m.reg.Lost(vs.name) {
 			continue
 		}
-		if first || vs.seen < min {
-			min = vs.seen
+		vs.mu.Lock()
+		seen := vs.seen
+		vs.mu.Unlock()
+		if first || seen < min {
+			min = seen
 			first = false
 		}
 	}
-	m.mu.Unlock()
+	m.vmu.RUnlock()
 	if first {
 		// No views: everything is droppable.
 		min = m.store.Current()
@@ -822,14 +874,17 @@ func (m *Manager) CheckInvariants() error {
 			return fmt.Errorf("directory %s: lost view %q is active", m.name, name)
 		}
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.vmu.RLock()
+	defer m.vmu.RUnlock()
 	for name, vs := range m.views {
 		if !reg[name] {
 			return fmt.Errorf("directory %s: view state %q has no registry entry", m.name, name)
 		}
-		if vs.seen > cur {
-			return fmt.Errorf("directory %s: view %q saw v%d beyond committed v%d", m.name, name, vs.seen, cur)
+		vs.mu.Lock()
+		seen := vs.seen
+		vs.mu.Unlock()
+		if seen > cur {
+			return fmt.Errorf("directory %s: view %q saw v%d beyond committed v%d", m.name, name, seen, cur)
 		}
 	}
 	for name := range reg {
@@ -842,9 +897,9 @@ func (m *Manager) CheckInvariants() error {
 
 // Mode reports a view's current mode (Weak for unknown views).
 func (m *Manager) Mode(view string) wire.Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if vs, ok := m.views[view]; ok {
+	if vs, ok := m.viewState(view); ok {
+		vs.mu.Lock()
+		defer vs.mu.Unlock()
 		return vs.mode
 	}
 	return wire.Weak
@@ -864,14 +919,20 @@ func (m *Manager) ActiveViews() []string {
 // SeedStatic installs a static conflict-map entry (1/0/-1) before or after
 // views register.
 func (m *Manager) SeedStatic(a, b string, rel registry.Relation) {
-	m.reg.SetStatic(a, b, rel)
+	m.structuralDo(func() { m.reg.SetStatic(a, b, rel) })
 }
 
 // CommitLocal lets the original component itself commit an update (e.g. an
 // administrative change to the primary data). It is also used by tests.
 // Like pushed commits, it barriers on replication before returning.
 func (m *Manager) CommitLocal(delta *image.Image, ops int) (vclock.Version, error) {
-	v, _, _, err := m.store.Commit("", delta, ops)
+	var (
+		v   vclock.Version
+		err error
+	)
+	// A primary-local commit has no conflict group (it may touch any
+	// keys), so in laned mode it runs exclusively — all lanes drained.
+	m.structuralDo(func() { v, _, _, err = m.store.Commit("", delta, ops) })
 	if err != nil {
 		return v, err
 	}

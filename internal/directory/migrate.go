@@ -60,33 +60,32 @@ func (m *Manager) TakeHandover(names []string) (*Handover, error) {
 	}
 	h := &Handover{Snap: m.store.Snapshot()}
 	for _, n := range names {
-		m.mu.Lock()
-		vs, ok := m.views[n]
-		var rec HandoverView
-		if ok {
-			rec = HandoverView{
-				Name:     n,
-				Mode:     vs.mode,
-				Op:       vs.lastOp,
-				Seen:     vs.seen,
-				Validity: vs.validity.Source(),
-			}
-		}
-		m.mu.Unlock()
+		vs, ok := m.viewState(n)
 		if !ok {
 			return nil, fmt.Errorf("directory %s: handover of unknown view %s", m.name, n)
 		}
+		vs.mu.Lock()
+		rec := HandoverView{
+			Name:     n,
+			Mode:     vs.mode,
+			Op:       vs.lastOp,
+			Seen:     vs.seen,
+			Validity: vs.validity.Source(),
+		}
+		vs.mu.Unlock()
 		props, _ := m.reg.Props(n)
 		rec.Props = props
 		rec.Active = m.reg.Active(n)
 		h.Views = append(h.Views, rec)
 	}
-	for _, n := range names {
-		m.reg.Unregister(n)
-		m.mu.Lock()
-		delete(m.views, n)
-		m.mu.Unlock()
-	}
+	m.structuralDo(func() {
+		for _, n := range names {
+			m.reg.Unregister(n)
+			m.vmu.Lock()
+			delete(m.views, n)
+			m.vmu.Unlock()
+		}
+	})
 	return h, nil
 }
 
@@ -107,25 +106,30 @@ func (m *Manager) AbsorbHandover(h *Handover) error {
 // mode, seen version, and triggers. Shared by handover absorption,
 // snapshot restore, and hot-standby replication.
 func (m *Manager) installViews(views []HandoverView) error {
-	for _, hv := range views {
-		val, err := trigger.Compile(hv.Validity)
-		if err != nil {
-			return fmt.Errorf("directory %s: handover validity trigger for %s: %v", m.name, hv.Name, err)
-		}
-		if err := m.reg.Register(hv.Name, hv.Props); err != nil {
-			// Already present (e.g. a replayed migration): refresh props.
-			if err := m.reg.SetProps(hv.Name, hv.Props); err != nil {
-				return fmt.Errorf("directory %s: absorb %s: %w", m.name, hv.Name, err)
+	var firstErr error
+	m.structuralDo(func() {
+		for _, hv := range views {
+			val, err := trigger.Compile(hv.Validity)
+			if err != nil {
+				firstErr = fmt.Errorf("directory %s: handover validity trigger for %s: %v", m.name, hv.Name, err)
+				return
 			}
+			if err := m.reg.Register(hv.Name, hv.Props); err != nil {
+				// Already present (e.g. a replayed migration): refresh props.
+				if err := m.reg.SetProps(hv.Name, hv.Props); err != nil {
+					firstErr = fmt.Errorf("directory %s: absorb %s: %w", m.name, hv.Name, err)
+					return
+				}
+			}
+			m.reg.SetActive(hv.Name, hv.Active)
+			m.vmu.Lock()
+			m.views[hv.Name] = &viewState{
+				name: hv.Name, mode: hv.Mode, seen: hv.Seen, validity: val, lastOp: hv.Op,
+			}
+			m.vmu.Unlock()
 		}
-		m.reg.SetActive(hv.Name, hv.Active)
-		m.mu.Lock()
-		m.views[hv.Name] = &viewState{
-			name: hv.Name, mode: hv.Mode, seen: hv.Seen, validity: val, lastOp: hv.Op,
-		}
-		m.mu.Unlock()
-	}
-	return nil
+	})
+	return firstErr
 }
 
 // Absorb merges a snapshot into a live store, in contrast to Restore which
@@ -138,11 +142,11 @@ func (s *Store) Absorb(snap *Snapshot) error {
 	if snap == nil {
 		return fmt.Errorf("directory: nil snapshot")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.lockStore()()
 	for _, r := range snap.Shadow {
-		if cur, ok := s.shadow[r.Key]; !ok || cur.version < r.Version {
-			s.shadow[r.Key] = shadowEntry{version: r.Version, writer: r.Writer, deleted: r.Deleted}
+		st := s.stripeFor(r.Key)
+		if cur, ok := st.shadow[r.Key]; !ok || cur.version < r.Version {
+			st.shadow[r.Key] = shadowEntry{version: r.Version, writer: r.Writer, deleted: r.Deleted}
 		}
 	}
 	merged := make([]UpdateRec, 0, len(s.log)+len(snap.Log))
@@ -165,7 +169,9 @@ func (s *Store) Absorb(snap *Snapshot) error {
 	merged = append(merged, snap.Log[j:]...)
 	s.log = merged
 	s.counter.AdvanceTo(snap.Version)
-	s.rebuildDirtyLocked()
+	for _, st := range s.stripes {
+		st.rebuild()
+	}
 	s.gen++
 	return nil
 }

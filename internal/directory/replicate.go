@@ -108,15 +108,20 @@ const staleEpochMark = "stale epoch"
 // SnapshotSince captures the metadata committed strictly after since:
 // shadow records newer than since (sorted by key, so encodings are
 // deterministic) and the log tail. SnapshotSince(0) is a full snapshot.
+// In striped mode the capture quiesces in-flight lane commits (commit
+// gate, write side), so a replication batch closed at snap.Version really
+// carries every commit ≤ snap.Version — lanes drain into TReplicate
+// batches in version-counter order with no holes.
 func (s *Store) SnapshotSince(since vclock.Version) *Snapshot {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	defer s.rlockStore()()
 	snap := &Snapshot{Version: s.counter.Current()}
-	for k, sh := range s.shadow {
-		if sh.version > since {
-			snap.Shadow = append(snap.Shadow, ShadowRec{
-				Key: k, Version: sh.version, Writer: sh.writer, Deleted: sh.deleted,
-			})
+	for _, st := range s.stripes {
+		for k, sh := range st.shadow {
+			if sh.version > since {
+				snap.Shadow = append(snap.Shadow, ShadowRec{
+					Key: k, Version: sh.version, Writer: sh.writer, Deleted: sh.deleted,
+				})
+			}
 		}
 	}
 	sort.Slice(snap.Shadow, func(i, j int) bool { return snap.Shadow[i].Key < snap.Shadow[j].Key })
@@ -132,8 +137,7 @@ func (s *Store) AbsorbImage(img *image.Image) error {
 	if img == nil || img.Len() == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.lockStore()()
 	if err := s.primary.Merge(img, img.Props); err != nil {
 		return fmt.Errorf("directory: absorb image: %w", err)
 	}
@@ -323,7 +327,7 @@ func (m *Manager) handleReplicate(req *wire.Message) *wire.Message {
 // captureViews snapshots the per-view registration state (sorted by name
 // so encodings are deterministic).
 func (m *Manager) captureViews() []HandoverView {
-	m.mu.Lock()
+	m.vmu.RLock()
 	names := make([]string, 0, len(m.views))
 	for n := range m.views {
 		names = append(names, n)
@@ -332,11 +336,13 @@ func (m *Manager) captureViews() []HandoverView {
 	recs := make([]HandoverView, 0, len(names))
 	for _, n := range names {
 		vs := m.views[n]
+		vs.mu.Lock()
 		recs = append(recs, HandoverView{
 			Name: n, Mode: vs.mode, Op: vs.lastOp, Seen: vs.seen, Validity: vs.validity.Source(),
 		})
+		vs.mu.Unlock()
 	}
-	m.mu.Unlock()
+	m.vmu.RUnlock()
 	for i := range recs {
 		props, _ := m.reg.Props(recs[i].Name)
 		recs[i].Props = props

@@ -42,15 +42,18 @@ type Snapshot struct {
 	Views []HandoverView
 }
 
-// Snapshot captures the store's current metadata.
+// Snapshot captures the store's current metadata. In striped mode it
+// quiesces in-flight commits first, so the capture is complete up to its
+// Version.
 func (s *Store) Snapshot() *Snapshot {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	defer s.rlockStore()()
 	snap := &Snapshot{Version: s.counter.Current()}
-	for k, sh := range s.shadow {
-		snap.Shadow = append(snap.Shadow, ShadowRec{
-			Key: k, Version: sh.version, Writer: sh.writer, Deleted: sh.deleted,
-		})
+	for _, st := range s.stripes {
+		for k, sh := range st.shadow {
+			snap.Shadow = append(snap.Shadow, ShadowRec{
+				Key: k, Version: sh.version, Writer: sh.writer, Deleted: sh.deleted,
+			})
+		}
 	}
 	snap.Log = make([]UpdateRec, len(s.log))
 	copy(snap.Log, s.log)
@@ -65,16 +68,19 @@ func (s *Store) Restore(snap *Snapshot) error {
 	if snap == nil {
 		return fmt.Errorf("directory: nil snapshot")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.shadow = make(map[string]shadowEntry, len(snap.Shadow))
+	defer s.lockStore()()
+	for _, st := range s.stripes {
+		st.shadow = map[string]shadowEntry{}
+	}
 	for _, r := range snap.Shadow {
-		s.shadow[r.Key] = shadowEntry{version: r.Version, writer: r.Writer, deleted: r.Deleted}
+		s.stripeFor(r.Key).shadow[r.Key] = shadowEntry{version: r.Version, writer: r.Writer, deleted: r.Deleted}
 	}
 	s.log = make([]UpdateRec, len(snap.Log))
 	copy(s.log, snap.Log)
 	s.counter.AdvanceTo(snap.Version)
-	s.rebuildDirtyLocked()
+	for _, st := range s.stripes {
+		st.rebuild()
+	}
 	s.gen++
 	return nil
 }

@@ -51,6 +51,33 @@ type dirtyRec struct {
 	key     string
 }
 
+// storeStripe is one key-hash shard of the store's per-key metadata: a
+// shadow map plus the version-ordered dirty index over its keys. In
+// serial mode the store has exactly one stripe and every access runs
+// under Store.mu, so stripe.mu is never touched and behavior is exactly
+// the pre-striping store. In striped mode (EnableStriping) there are
+// stripeCount stripes, each guarded by its own lock, so commits of
+// disjoint conflict groups publish metadata without contending.
+type storeStripe struct {
+	mu     sync.RWMutex
+	shadow map[string]shadowEntry
+	// dirty is the version-ordered dirty-key index feeding incremental
+	// extraction; stale counts its superseded records, driving rebuilds.
+	dirty []dirtyRec
+	stale int
+}
+
+func newStoreStripe() *storeStripe {
+	return &storeStripe{shadow: map[string]shadowEntry{}}
+}
+
+// stripeCount is the fixed key-hash fan-out in striped mode. Keys hash to
+// stripes independently of conflict groups: disjoint groups have disjoint
+// keys, so their publishes never collide on an entry, and a shared stripe
+// only costs a short map-update critical section (all codec work happens
+// outside stripe locks).
+const stripeCount = 16
+
 // Store wraps the original component's extract/merge codec with the
 // protocol metadata Flecc maintains around it: a monotonic version
 // counter, a per-key shadow of (version, writer) used for conflict
@@ -60,31 +87,42 @@ type dirtyRec struct {
 type Store struct {
 	// mu is a reader/writer lock: commits take the write side, extracts and
 	// quality queries the read side, so concurrent pulls of non-conflicting
-	// views no longer serialize on the store.
+	// views no longer serialize on the store. In striped mode it shrinks to
+	// guarding the update log, gen, and conflictsSeen — per-key metadata
+	// moves under the stripe locks.
 	mu      sync.RWMutex
 	primary image.Codec
 	// keyed is primary's keyed-extraction extension when it has one; nil
 	// means delta pulls fall back to full extract + DeltaSince.
-	keyed image.KeyedExtractor
-	clock vclock.Clock
+	keyed   image.KeyedExtractor
+	clock   vclock.Clock
 	counter vclock.Counter
 	// gen counts metadata mutations (commits, restores, absorbs). Extract
 	// snapshots it, calls the primary codec *outside* the lock, and
 	// revalidates: an unchanged gen proves nothing moved underneath the
 	// unlocked codec call.
-	gen    uint64
-	shadow map[string]shadowEntry
-	// dirty is the version-ordered dirty-key index feeding incremental
-	// extraction; stale counts its superseded records, driving rebuilds.
-	dirty []dirtyRec
-	stale int
-	log   []UpdateRec
+	gen uint64
+	// stripes holds the per-key metadata: one stripe in serial mode,
+	// stripeCount key-hash stripes in striped mode.
+	stripes []*storeStripe
+	log     []UpdateRec
 	// resolver adjudicates concurrent-update conflicts; nil means
 	// last-writer-wins in commit order (the incoming update wins, since it
 	// is the latest).
 	resolver image.Resolver
 	// conflictsSeen counts conflicts detected across all commits.
 	conflictsSeen int
+
+	// striped marks the store as running the concurrent-commit paths
+	// (stripe.go). gate is the striped-mode commit gate: commits and
+	// extracts hold the read side, whole-store operations (snapshot,
+	// restore, absorb, invariant checks) the write side — acquiring it
+	// exclusively quiesces every in-flight commit, which is what keeps
+	// replication batches complete. pub tracks the published watermark
+	// striped extracts stamp images with.
+	striped bool
+	gate    sync.RWMutex
+	pub     pubTracker
 }
 
 // NewStore builds a store around the original component's codec.
@@ -94,8 +132,22 @@ func NewStore(primary image.Codec, clock vclock.Clock) *Store {
 		primary: primary,
 		keyed:   keyed,
 		clock:   clock,
-		shadow:  map[string]shadowEntry{},
+		stripes: []*storeStripe{newStoreStripe()},
 	}
+}
+
+// stripeFor maps a key to its metadata stripe (the single stripe in
+// serial mode).
+func (s *Store) stripeFor(k string) *storeStripe {
+	if len(s.stripes) == 1 {
+		return s.stripes[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return s.stripes[h%uint32(len(s.stripes))]
 }
 
 // SetResolver installs the application's conflict resolver (nil restores
@@ -135,14 +187,18 @@ func (s *Store) Commit(writer string, delta *image.Image, ops int) (vclock.Versi
 	if delta == nil || delta.Len() == 0 {
 		return s.counter.Current(), 0, nil, nil
 	}
+	if s.striped {
+		return s.commitStriped(writer, delta, ops)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	st := s.stripes[0]
 
 	// Detect conflicting keys via the shadow.
 	var conflictKeys []string
 	for _, k := range delta.Keys() {
 		e := delta.Entries[k]
-		if sh, ok := s.shadow[k]; ok && sh.version > e.Version && sh.writer != writer {
+		if sh, ok := st.shadow[k]; ok && sh.version > e.Version && sh.writer != writer {
 			conflictKeys = append(conflictKeys, k)
 		}
 	}
@@ -176,8 +232,8 @@ func (s *Store) Commit(writer string, delta *image.Image, ops int) (vclock.Versi
 				if current != nil {
 					if ce, ok := current.Get(k); ok {
 						ours = ce
-						ours.Version = s.shadow[k].version
-						ours.Writer = s.shadow[k].writer
+						ours.Version = st.shadow[k].version
+						ours.Writer = st.shadow[k].writer
 					}
 				}
 				w, err := s.resolver(image.Conflict{Key: k, Ours: ours, Theirs: theirs})
@@ -198,16 +254,16 @@ func (s *Store) Commit(writer string, delta *image.Image, ops int) (vclock.Versi
 		theirs.Version = newVer
 		theirs.Writer = writer
 		apply.Put(theirs)
-		if _, existed := s.shadow[k]; existed {
+		if _, existed := st.shadow[k]; existed {
 			// The key's previous dirty record is now superseded.
-			s.stale++
+			st.stale++
 		}
-		s.shadow[k] = shadowEntry{version: newVer, writer: writer, deleted: theirs.Deleted}
-		s.dirty = append(s.dirty, dirtyRec{version: newVer, key: k})
+		st.shadow[k] = shadowEntry{version: newVer, writer: writer, deleted: theirs.Deleted}
+		st.dirty = append(st.dirty, dirtyRec{version: newVer, key: k})
 	}
 	s.conflictsSeen += conflicts
-	if s.stale > len(s.shadow)+16 {
-		s.rebuildDirtyLocked()
+	if st.stale > len(st.shadow)+16 {
+		st.rebuild()
 	}
 
 	apply.Version = newVer
@@ -231,22 +287,23 @@ func (s *Store) Commit(writer string, delta *image.Image, ops int) (vclock.Versi
 	return newVer, conflicts, rejected, nil
 }
 
-// rebuildDirtyLocked regenerates the dirty index from the shadow: one
+// rebuild regenerates the stripe's dirty index from its shadow: one
 // record per key at its current version, sorted by (version, key). Called
-// under the write lock when stale records pile up or when the shadow is
-// replaced wholesale (Restore/Absorb).
-func (s *Store) rebuildDirtyLocked() {
-	s.dirty = s.dirty[:0]
-	for k, sh := range s.shadow {
-		s.dirty = append(s.dirty, dirtyRec{version: sh.version, key: k})
+// with the stripe exclusively held (under Store.mu in serial mode, the
+// stripe lock or the commit gate in striped mode) when stale records pile
+// up or when the shadow is replaced wholesale (Restore/Absorb).
+func (st *storeStripe) rebuild() {
+	st.dirty = st.dirty[:0]
+	for k, sh := range st.shadow {
+		st.dirty = append(st.dirty, dirtyRec{version: sh.version, key: k})
 	}
-	sort.Slice(s.dirty, func(i, j int) bool {
-		if s.dirty[i].version != s.dirty[j].version {
-			return s.dirty[i].version < s.dirty[j].version
+	sort.Slice(st.dirty, func(i, j int) bool {
+		if st.dirty[i].version != st.dirty[j].version {
+			return st.dirty[i].version < st.dirty[j].version
 		}
-		return s.dirty[i].key < s.dirty[j].key
+		return st.dirty[i].key < st.dirty[j].key
 	})
-	s.stale = 0
+	st.stale = 0
 }
 
 // Extract snapshots the primary copy restricted to props, stamps entries
@@ -260,6 +317,9 @@ func (s *Store) rebuildDirtyLocked() {
 // most of it. Either way the primary codec is called outside the store
 // lock — a generation check detects a racing commit and retries.
 func (s *Store) Extract(props property.Set, since vclock.Version) (*image.Image, error) {
+	if s.striped {
+		return s.extractStriped(props, since)
+	}
 	if since > 0 && s.keyed != nil {
 		img, ok, err := s.extractDelta(props, since)
 		if ok {
@@ -272,6 +332,7 @@ func (s *Store) Extract(props property.Set, since vclock.Version) (*image.Image,
 // extractFull is the classic path: full primary snapshot, shadow overlay,
 // tombstone synthesis, optional DeltaSince trim.
 func (s *Store) extractFull(props property.Set, since vclock.Version) (*image.Image, error) {
+	st := s.stripes[0]
 	for attempt := 0; ; attempt++ {
 		// After two generation-check failures, hold the read lock across the
 		// codec call; progress beats parallelism under a commit storm.
@@ -300,7 +361,7 @@ func (s *Store) extractFull(props property.Set, since vclock.Version) (*image.Im
 			}
 		}
 		for k, e := range img.Entries {
-			if sh, ok := s.shadow[k]; ok {
+			if sh, ok := st.shadow[k]; ok {
 				e.Version = sh.version
 				e.Writer = sh.writer
 				img.Entries[k] = e
@@ -310,7 +371,7 @@ func (s *Store) extractFull(props property.Set, since vclock.Version) (*image.Im
 		// never learn about them; synthesize tombstones from the shadow.
 		// (Merging a tombstone for a key a view never held is a harmless
 		// no-op, so tombstones are not filtered by props.)
-		for k, sh := range s.shadow {
+		for k, sh := range st.shadow {
 			if !sh.deleted {
 				continue
 			}
@@ -334,15 +395,16 @@ func (s *Store) extractFull(props property.Set, since vclock.Version) (*image.Im
 // the live keys. Returns ok=false to fall back to the full path when a
 // commit races the unlocked codec call.
 func (s *Store) extractDelta(props property.Set, since vclock.Version) (*image.Image, bool, error) {
+	st := s.stripes[0]
 	s.mu.RLock()
 	gen := s.gen
 	ver := s.counter.Current()
-	start := sort.Search(len(s.dirty), func(i int) bool { return s.dirty[i].version > since })
+	start := sort.Search(len(st.dirty), func(i int) bool { return st.dirty[i].version > since })
 	var liveKeys []string
 	var tombs []image.Entry
-	for i := start; i < len(s.dirty); i++ {
-		rec := s.dirty[i]
-		sh, ok := s.shadow[rec.key]
+	for i := start; i < len(st.dirty); i++ {
+		rec := st.dirty[i]
+		sh, ok := st.shadow[rec.key]
 		if !ok || sh.version != rec.version {
 			continue // superseded record; the key's current version has its own
 		}
@@ -375,7 +437,7 @@ func (s *Store) extractDelta(props property.Set, since vclock.Version) (*image.I
 		return nil, false, nil // a commit raced; take the full path
 	}
 	for k, e := range img.Entries {
-		if sh, ok := s.shadow[k]; ok {
+		if sh, ok := st.shadow[k]; ok {
 			e.Version = sh.version
 			e.Writer = sh.writer
 			img.Entries[k] = e
@@ -427,17 +489,18 @@ func (s *Store) UnseenOps(since vclock.Version, viewer string, props property.Se
 //     and no dirty record claims a version newer than the counter;
 //   - the stale count never exceeds the index length.
 func (s *Store) CheckInvariants() error {
+	if s.striped {
+		// Quiesce in-flight commits so the cross-stripe view is coherent,
+		// and check the published watermark caught up to the counter.
+		s.gate.Lock()
+		defer s.gate.Unlock()
+		if pub, cur := s.pub.published(), s.counter.Current(); pub != cur {
+			return fmt.Errorf("store: published watermark v%d behind counter v%d with no commit in flight", pub, cur)
+		}
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	cur := s.counter.Current()
-	for k, sh := range s.shadow {
-		if sh.version == 0 {
-			return fmt.Errorf("store: shadow %q has version 0", k)
-		}
-		if sh.version > cur {
-			return fmt.Errorf("store: shadow %q at v%d exceeds counter v%d", k, sh.version, cur)
-		}
-	}
 	var prev vclock.Version
 	for i, rec := range s.log {
 		if rec.Version <= prev {
@@ -448,22 +511,37 @@ func (s *Store) CheckInvariants() error {
 		}
 		prev = rec.Version
 	}
-	live := map[string]vclock.Version{}
-	for i, rec := range s.dirty {
-		if rec.version > cur {
-			return fmt.Errorf("store: dirty[%d] %q at v%d exceeds counter v%d", i, rec.key, rec.version, cur)
+	for _, st := range s.stripes {
+		for k, sh := range st.shadow {
+			if sh.version == 0 {
+				return fmt.Errorf("store: shadow %q has version 0", k)
+			}
+			if sh.version > cur {
+				return fmt.Errorf("store: shadow %q at v%d exceeds counter v%d", k, sh.version, cur)
+			}
 		}
-		if sh, ok := s.shadow[rec.key]; ok && sh.version == rec.version {
-			live[rec.key] = rec.version
+		live := map[string]vclock.Version{}
+		var prevDirty vclock.Version
+		for i, rec := range st.dirty {
+			if rec.version > cur {
+				return fmt.Errorf("store: dirty[%d] %q at v%d exceeds counter v%d", i, rec.key, rec.version, cur)
+			}
+			if rec.version < prevDirty {
+				return fmt.Errorf("store: dirty[%d] %q at v%d out of order after v%d", i, rec.key, rec.version, prevDirty)
+			}
+			prevDirty = rec.version
+			if sh, ok := st.shadow[rec.key]; ok && sh.version == rec.version {
+				live[rec.key] = rec.version
+			}
 		}
-	}
-	for k, sh := range s.shadow {
-		if v, ok := live[k]; !ok || v != sh.version {
-			return fmt.Errorf("store: shadow %q at v%d has no live dirty record", k, sh.version)
+		for k, sh := range st.shadow {
+			if v, ok := live[k]; !ok || v != sh.version {
+				return fmt.Errorf("store: shadow %q at v%d has no live dirty record", k, sh.version)
+			}
 		}
-	}
-	if s.stale > len(s.dirty) {
-		return fmt.Errorf("store: stale count %d exceeds dirty index length %d", s.stale, len(s.dirty))
+		if st.stale > len(st.dirty) {
+			return fmt.Errorf("store: stale count %d exceeds dirty index length %d", st.stale, len(st.dirty))
+		}
 	}
 	return nil
 }

@@ -65,6 +65,27 @@ func (r *Registry) disableIndex() {
 	r.mu.Unlock()
 }
 
+// cachedStructuralLocked returns the view's sorted structural conflict
+// set (activeOnly=false), from the epoch-keyed cache when it is still
+// valid and recomputing it otherwise. Caller holds r.mu (read), which
+// pins r.epoch for the duration; the cache itself is guarded by r.cmu so
+// a read-locked query can publish its result. Per-query active filtering
+// happens in ConflictingWith — activity flips do not bump the epoch, so
+// the structural set survives them.
+func (r *Registry) cachedStructuralLocked(name string) []string {
+	r.cmu.Lock()
+	if c, ok := r.confCache[name]; ok && c.epoch == r.epoch {
+		r.cmu.Unlock()
+		return c.names
+	}
+	r.cmu.Unlock()
+	names := r.conflictingWithLocked(name, false)
+	r.cmu.Lock()
+	r.confCache[name] = &cachedConflicts{epoch: r.epoch, names: names}
+	r.cmu.Unlock()
+	return names
+}
+
 // staticRelationLocked resolves the static matrix for a pair in one map
 // read: entries are stored under the canonical (min,max) key only, so
 // both directions land on the same cell. Caller holds r.mu (read).

@@ -86,6 +86,25 @@ type Registry struct {
 	// nil when noIndex is set (brute-force reference mode, tests only).
 	idx     *property.Index
 	noIndex bool
+	// epoch counts structural mutations: anything that can change a
+	// conflict set (register, unregister, property changes, lost
+	// transitions, static-matrix and default-relation edits). Activity
+	// flips do NOT bump it — they are per-query filters, not structure.
+	// Cached conflict sets and the directory's lane map are keyed by it:
+	// an unchanged epoch proves a cached answer is still exact.
+	epoch uint64
+	// cmu guards confCache independently of r.mu so a read-locked query
+	// can still fill the cache.
+	cmu sync.Mutex
+	// confCache holds per view the sorted structural conflict set
+	// (activeOnly=false) computed at a given epoch (see index.go).
+	confCache map[string]*cachedConflicts
+}
+
+// cachedConflicts is one memoized structural conflict set.
+type cachedConflicts struct {
+	epoch uint64
+	names []string
 }
 
 // New returns an empty registry whose unspecified pairs are Dynamic —
@@ -97,7 +116,17 @@ func New() *Registry {
 		staticBy:   map[string]map[string]Relation{},
 		defaultRel: Dynamic,
 		idx:        property.NewIndex(),
+		confCache:  map[string]*cachedConflicts{},
 	}
+}
+
+// Epoch returns the structural-mutation epoch. Callers that cache
+// anything derived from conflict sets (the directory's lane map, the
+// per-view conflict-set cache) revalidate against it.
+func (r *Registry) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
 }
 
 // SetDefaultRelation changes the relation assumed for pairs with no static
@@ -107,6 +136,7 @@ func New() *Registry {
 func (r *Registry) SetDefaultRelation(rel Relation) {
 	r.mu.Lock()
 	r.defaultRel = rel
+	r.epoch++
 	r.mu.Unlock()
 }
 
@@ -131,6 +161,7 @@ func (r *Registry) SetStatic(a, b string, rel Relation) {
 		}
 		adj[e[1]] = rel
 	}
+	r.epoch++
 	r.mu.Unlock()
 }
 
@@ -158,14 +189,21 @@ func (r *Registry) Register(name string, props property.Set) error {
 	v := &ViewInfo{Name: name, Props: props.Clone()}
 	r.views[name] = v
 	r.indexInsertLocked(v)
+	r.epoch++
 	return nil
 }
 
 // Unregister removes a view (idempotent).
 func (r *Registry) Unregister(name string) {
 	r.mu.Lock()
-	delete(r.views, name)
-	r.indexRemoveLocked(name)
+	if _, ok := r.views[name]; ok {
+		delete(r.views, name)
+		r.indexRemoveLocked(name)
+		r.epoch++
+		r.cmu.Lock()
+		delete(r.confCache, name)
+		r.cmu.Unlock()
+	}
 	r.mu.Unlock()
 }
 
@@ -191,6 +229,7 @@ func (r *Registry) SetProps(name string, props property.Set) error {
 	if !v.Lost {
 		r.indexInsertLocked(v)
 	}
+	r.epoch++
 	return nil
 }
 
@@ -236,6 +275,7 @@ func (r *Registry) SetLost(name string, lost bool) {
 		} else {
 			r.indexInsertLocked(v)
 		}
+		r.epoch++
 	}
 	r.mu.Unlock()
 }
@@ -305,10 +345,28 @@ func (r *Registry) Conflicts(a, b string) bool {
 // The whole query runs under one read lock — one coherent snapshot, no
 // set-props interleaving mid-scan — and is served by the conflict index
 // in O(log n + matches) (see index.go for the per-defaultRel plans).
+// Repeated queries between structural mutations are served from a cached
+// per-view structural set keyed by the mutation epoch, with only the
+// active filter re-applied per call.
 func (r *Registry) ConflictingWith(name string, activeOnly bool) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.conflictingWithLocked(name, activeOnly)
+	if r.noIndex {
+		// Brute-force reference mode stays uncached so the equivalence
+		// suite measures the scan itself.
+		return r.conflictingWithLocked(name, activeOnly)
+	}
+	structural := r.cachedStructuralLocked(name)
+	out := make([]string, 0, len(structural))
+	for _, n := range structural {
+		if admissible(r.views[n], name, activeOnly) {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Others returns the sorted names of every registered view except the
